@@ -1,0 +1,239 @@
+"""E10 — the paper's protocols vs the pre-paper baselines.
+
+Three head-to-head comparisons, each reproducing a "who wins, by what
+factor, where is the crossover" claim:
+
+1. **Collection vs round-robin TDMA** — the randomized pipeline pays
+   O(log Δ) per frame instead of O(n): Decay wins increasingly with n,
+   TDMA only competes when n is tiny.
+2. **Pipelined point-to-point vs sequential store-and-forward**
+   (Chlamtac–Kutten-style, §1.3) — sequential pays k·D; pipelining pays
+   (k + D)·log Δ.  Crossover in k: for a single message the conflict-free
+   sequential walk is cheaper, for k ≫ 1 pipelining wins by ~D/log Δ.
+3. **Pipelined broadcast vs k sequential BGI floods** (§6's motivating
+   comparison) — sequential pays k·D·logΔ·logn, pipelined (k+D)·logΔ·logn.
+"""
+
+import random
+
+from conftest import replication_seeds
+
+from repro.analysis import print_table, summarize
+from repro.baselines import (
+    run_naive_broadcast,
+    run_sequential_p2p,
+    run_tdma_collection,
+)
+from repro.core import run_broadcast, run_collection, run_point_to_point
+from repro.graphs import path, random_geometric, reference_bfs_tree
+
+
+def mean(fn, name, reps=3):
+    return summarize(
+        [float(fn(seed)) for seed in replication_seeds(name, reps)]
+    ).mean
+
+
+def test_e10a_collection_vs_tdma(benchmark):
+    """Two deterministic competitors: naive round-robin TDMA (frame n) and
+    spatial-reuse TDMA via a distance-2 coloring.
+
+    Findings (both matter for reading the paper honestly):
+
+    * Against anything *computable within the model's knowledge* (IDs, n,
+      Δ — hence the naive frame-n schedule), Decay wins and the gap grows
+      linearly in n.
+    * Given an **offline-compiled global schedule** (the distance-2
+      coloring — knowledge no station has in the model), deterministic
+      spatial TDMA beats Decay outright at these scales: a Δ-ish frame
+      moves *every* backlogged station one hop with zero collisions and
+      no ack machinery.  That is exactly the trade the paper's related
+      work exposes: Chlamtac–Weinstein [8] compute such schedules
+      centrally, at a "quadratic in the number of nodes" message cost to
+      distribute (§1.3).  The paper's randomized protocols pay a log
+      factor in slots to need *no compilation at all* — the right story
+      is "no-setup randomized vs compiled deterministic", not "randomized
+      beats everything".  The Δ sweep shows the compiled schedule's edge
+      shrinking as density grows (frame ~Δ vs Decay's log Δ machinery).
+    """
+    from repro.baselines import run_spatial_tdma_collection
+
+    rows = []
+    for n in (8, 16, 32, 64):
+        graph = path(n)
+        tree = reference_bfs_tree(graph, 0)
+        k = 8
+        sources = {n - 1: [f"m{i}" for i in range(k)]}
+        decay_slots = mean(
+            lambda s: run_collection(graph, tree, sources, seed=s).slots,
+            f"e10a-decay-{n}",
+        )
+        tdma_slots = float(
+            run_tdma_collection(graph, tree, sources).slots
+        )
+        spatial = run_spatial_tdma_collection(graph, tree, sources)
+        rows.append(
+            [
+                n,
+                k,
+                decay_slots,
+                tdma_slots,
+                float(spatial.slots),
+                tdma_slots / decay_slots,
+            ]
+        )
+    print_table(
+        [
+            "n",
+            "k",
+            "Decay",
+            "TDMA (frame n)",
+            "TDMA d2 (frame Δ²)",
+            "naive/Decay",
+        ],
+        rows,
+        title="E10a: randomized collection vs deterministic TDMA (path-n)",
+    )
+    # Naive TDMA's relative cost grows with n; Decay wins at scale.
+    assert rows[-1][5] > rows[0][5]
+    assert rows[-1][5] > 1.5
+
+    # The Δ sweep: spatial TDMA's frame grows with Δ², Decay's with log Δ.
+    delta_rows = []
+    for radius, tag in ((0.3, "sparse"), (0.55, "dense")):
+        graph = random_geometric(28, radius, random.Random(7))
+        tree = reference_bfs_tree(graph, 0)
+        sources = {
+            node: ["m"] for node in list(graph.nodes)[1:13]
+        }
+        decay_slots = mean(
+            lambda s: run_collection(graph, tree, sources, seed=s).slots,
+            f"e10a-rgg-{tag}",
+        )
+        spatial = run_spatial_tdma_collection(graph, tree, sources)
+        delta_rows.append(
+            [
+                f"rgg-28 {tag}",
+                graph.max_degree(),
+                spatial.frame_length,
+                decay_slots,
+                float(spatial.slots),
+                spatial.slots / decay_slots,
+            ]
+        )
+    print_table(
+        ["topology", "Δ", "d2 colors", "Decay", "TDMA d2", "d2/Decay"],
+        delta_rows,
+        title="E10a2: spatial TDMA's Δ² frames vs Decay's log Δ phases",
+    )
+    # Denser network → relatively better for Decay.
+    assert delta_rows[1][5] > delta_rows[0][5]
+
+    graph = path(16)
+    tree = reference_bfs_tree(graph, 0)
+    benchmark(
+        lambda: run_tdma_collection(graph, tree, {15: ["m"] * 4}).slots
+    )
+
+
+def test_e10b_p2p_vs_sequential(benchmark):
+    """Sequential pays k·(path length); pipelining pays (k+D)·log Δ.  The
+    crossover therefore needs D ≫ log Δ: on a deep path, sequential wins
+    only the single-message case and pipelining wins by ~D/log Δ at
+    large k."""
+    n = 96
+    graph = path(n)
+    tree = reference_bfs_tree(graph, 0)
+    tree.assign_dfs_intervals()
+    nodes = list(graph.nodes)
+    rng = random.Random(5)
+    rows = []
+    crossover = None
+    for k in (1, 4, 16, 64):
+        batch = []
+        while len(batch) < k:
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if abs(u - v) > n // 3:  # long-haul traffic
+                batch.append((u, v, len(batch)))
+        pipelined = mean(
+            lambda s: run_point_to_point(graph, tree, batch, seed=s).slots,
+            f"e10b-{k}",
+        )
+        sequential = float(run_sequential_p2p(graph, tree, batch).slots)
+        ratio = sequential / pipelined
+        rows.append([k, pipelined, sequential, ratio])
+        if ratio > 1 and crossover is None:
+            crossover = k
+    print_table(
+        ["k", "pipelined slots", "sequential slots", "seq/pipe"],
+        rows,
+        title="E10b: pipelined p2p vs sequential forwarding (path-96)",
+    )
+    # Single message: the conflict-free sequential walk is cheaper.
+    assert rows[0][3] < 1.0
+    # Large batches: pipelining wins decisively, advantage growing with k.
+    assert crossover is not None and crossover <= 64
+    assert rows[-1][3] > 2.0
+    assert rows[-1][3] > rows[0][3]
+
+    batch = [(nodes[0], nodes[-1], 0)]
+    benchmark(lambda: run_sequential_p2p(graph, tree, batch).slots)
+
+
+def test_e10c_broadcast_vs_sequential_floods(benchmark):
+    """§6's motivating comparison.  Per message, a sequential whp flood
+    costs ~D·log Δ-ish slots while the pipeline costs one superphase
+    (~log Δ·log n slots): pipelining wins exactly when D ≫ log n, and the
+    advantage grows with both k and D.  The flood baseline is charged its
+    whp schedule (a real radio network cannot detect flood completion)."""
+    from repro.baselines import staged_flood_slots
+
+    rows = []
+    staged_ratio = {}
+    for n in (12, 64):
+        graph = path(n)
+        tree = reference_bfs_tree(graph, 0)
+        staged_per_message = staged_flood_slots(
+            n - 1, n, graph.max_degree()
+        )
+        for k in (2, 8, 16):
+            pipelined = mean(
+                lambda s: run_broadcast(
+                    graph, tree, {0: [f"m{i}" for i in range(k)]}, seed=s
+                ).slots,
+                f"e10c-{n}-{k}",
+                reps=2,
+            )
+            staged = float(k * staged_per_message)
+            whp_flood = mean(
+                lambda s: run_naive_broadcast(graph, 0, k, seed=s).fair_slots,
+                f"e10c-naive-{n}-{k}",
+                reps=2,
+            )
+            rows.append(
+                [n, n - 1, k, pipelined, staged, whp_flood, staged / pipelined]
+            )
+            staged_ratio[(n, k)] = staged / pipelined
+    print_table(
+        [
+            "n",
+            "D",
+            "k",
+            "pipelined",
+            "k staged floods",
+            "k whp floods",
+            "staged/pipelined",
+        ],
+        rows,
+        title="E10c: pipelined broadcast vs non-pipelined floods",
+    )
+    # Against the paper's baseline (staged floods, §6's 2·D·logΔ·logn per
+    # message): single/few messages favour the flood (no pipeline fill)...
+    assert staged_ratio[(64, 2)] < 1.0
+    # ...but the advantage grows with k toward ~min(k, D)×, and grows with
+    # D at fixed k; pipelining wins decisively on the deep network.
+    assert staged_ratio[(64, 16)] > staged_ratio[(64, 2)]
+    assert staged_ratio[(64, 16)] > staged_ratio[(12, 16)]
+    assert staged_ratio[(64, 16)] > 2.0
+
+    benchmark(lambda: run_naive_broadcast(path(8), 0, 1, seed=4).slots)

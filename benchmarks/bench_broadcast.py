@@ -1,0 +1,86 @@
+"""E8 — §6: k broadcasts in O((k + D)·log Δ·log n) slots;
+steady-state throughput one broadcast per O(log Δ·log n) slots.
+
+Sweeps k, reports total slots, superphases consumed (pipeline theory says
+≈ k + D + constant), the normalized constant slots/((k+D)·logΔ·logn), and
+NACK-driven resends (expected ≈ 0 with the paper's ε = 1/n² superphase
+sizing).
+"""
+
+import math
+import random
+
+from conftest import replication_seeds
+
+from repro.analysis import print_table, summarize
+from repro.core import run_broadcast
+from repro.graphs import grid, path, random_geometric, reference_bfs_tree
+
+
+def mean_broadcast(build, k, name):
+    slots, superphases, resends = [], [], []
+    for seed in replication_seeds(name, 3):
+        graph = build(random.Random(seed))
+        tree = reference_bfs_tree(graph, 0)
+        nodes = list(graph.nodes)
+        submissions = {nodes[1 % len(nodes)]: [f"m{i}" for i in range(k)]}
+        result = run_broadcast(graph, tree, submissions, seed=seed)
+        assert result.delivered_everywhere
+        slots.append(float(result.slots))
+        superphases.append(float(result.superphases))
+        resends.append(float(result.resends))
+    return (
+        summarize(slots).mean,
+        summarize(superphases).mean,
+        summarize(resends).mean,
+    )
+
+
+def test_e8_broadcast_throughput(benchmark):
+    rows = []
+    scenarios = [
+        ("path-12", lambda r: path(12)),
+        ("grid-4x4", lambda r: grid(4, 4)),
+        ("rgg-24", lambda r: random_geometric(24, 0.35, r)),
+    ]
+    for name, build in scenarios:
+        graph = build(random.Random(0))
+        tree = reference_bfs_tree(graph, 0)
+        log_delta = math.log2(max(2, graph.max_degree()))
+        log_n = math.log2(max(2, graph.num_nodes))
+        for k in (2, 6, 12):
+            slots, superphases, resends = mean_broadcast(
+                build, k, f"e8-{name}-{k}"
+            )
+            constant = slots / ((k + tree.depth) * log_delta * log_n)
+            rows.append(
+                [name, k, tree.depth, slots, superphases, constant, resends]
+            )
+            # Pipeline theory: superphases ≈ k + D + small queuing slack
+            # (collection to the root adds a few when the source is deep).
+            assert superphases <= 3 * (k + tree.depth) + 20, (
+                name,
+                k,
+                superphases,
+            )
+            assert resends <= 2
+    print_table(
+        [
+            "topology",
+            "k",
+            "D",
+            "slots (mean)",
+            "superphases",
+            "slots/((k+D)logΔlogn)",
+            "resends",
+        ],
+        rows,
+        title="E8: pipelined k-broadcast — throughput O(logΔ·logn)/message",
+    )
+    graph = path(8)
+    tree = reference_bfs_tree(graph, 0)
+    benchmark(
+        lambda: run_broadcast(
+            graph, tree, {1: ["a", "b"]}, seed=5
+        ).slots
+    )

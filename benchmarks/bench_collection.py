@@ -1,0 +1,106 @@
+"""E3 — Theorem 4.4: k-collection completes in ≤ 32.27·(k+D)·log Δ slots.
+
+Sweeps k and D across topology families and reports the measured constant
+``slots / ((k + D)·log2 Δ)`` against the paper's 32.27 (the stated bound
+excludes the ×3 level-multiplexing of §2.2, so the multiplexed
+implementation is compared against 3×32.27; the un-multiplexed variant
+against 32.27 directly).  Also fits the scaling exponent of slots vs k,
+which Theorem 4.4 predicts to be ≤ 1 asymptotically.
+"""
+
+import math
+
+from conftest import replication_seeds
+
+from repro.analysis import print_table, scaling_exponent, summarize
+from repro.core import expected_collection_slots, run_collection, theorem_44_constant
+from repro.graphs import (
+    layered_band,
+    path,
+    random_geometric,
+    reference_bfs_tree,
+)
+import random
+
+
+def measure(graph, tree, k, seed, level_classes):
+    deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
+    sources = {deepest: [f"m{i}" for i in range(k)]}
+    result = run_collection(
+        graph, tree, sources, seed, level_classes=level_classes
+    )
+    return result.slots
+
+
+def test_e3_collection_constant(benchmark):
+    rows = []
+    scenarios = [
+        ("path-12", lambda r: path(12)),
+        ("path-24", lambda r: path(24)),
+        ("band-6x4", lambda r: layered_band(6, 4)),
+        ("rgg-30", lambda r: random_geometric(30, 0.3, r)),
+    ]
+    for name, build in scenarios:
+        for k in (4, 16):
+            for classes in (3, 1):
+                samples = []
+                for seed in replication_seeds(f"e3-{name}-{k}-{classes}", 5):
+                    graph = build(random.Random(seed))
+                    tree = reference_bfs_tree(graph, 0)
+                    samples.append(
+                        measure(graph, tree, k, seed, classes)
+                    )
+                graph = build(random.Random(0))
+                tree = reference_bfs_tree(graph, 0)
+                log_delta = math.log2(max(2, graph.max_degree()))
+                denom = (k + tree.depth) * log_delta
+                constant = summarize(samples).mean / denom
+                bound = theorem_44_constant() * classes
+                rows.append(
+                    [
+                        name,
+                        k,
+                        tree.depth,
+                        classes,
+                        summarize(samples).mean,
+                        constant,
+                        bound,
+                        "yes" if constant <= bound else "NO",
+                    ]
+                )
+                assert constant <= bound, (name, k, classes, constant)
+    print_table(
+        [
+            "topology",
+            "k",
+            "D",
+            "classes",
+            "slots (mean)",
+            "slots/((k+D)logΔ)",
+            "paper bound",
+            "within",
+        ],
+        rows,
+        title="E3: Thm 4.4 — measured collection constant vs 32.27",
+    )
+
+    # Scaling in k at fixed topology: exponent ~ <= 1 (linear pipeline).
+    graph = path(16)
+    tree = reference_bfs_tree(graph, 0)
+    ks = [4, 8, 16, 32]
+    means = []
+    for k in ks:
+        samples = [
+            measure(graph, tree, k, seed, 3)
+            for seed in replication_seeds(f"e3-scaling-{k}", 4)
+        ]
+        means.append(summarize(samples).mean)
+    alpha = scaling_exponent(ks, means)
+    print_table(
+        ["k", "slots"],
+        list(zip(ks, means)),
+        title=f"E3b: slots vs k on path-16 (fit exponent α = {alpha:.2f})",
+    )
+    assert alpha <= 1.2
+
+    benchmark(lambda: measure(graph, tree, 8, seed=5, level_classes=3))

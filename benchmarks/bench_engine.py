@@ -1,0 +1,64 @@
+"""E0 — infrastructure: raw simulator throughput.
+
+Not a paper claim — a capacity statement for the reproduction itself:
+how many slot·station updates per second the engine sustains, and how
+cost scales with network size and density.  This is what bounds the
+experiment sizes everywhere else in the harness.
+"""
+
+import random
+import time
+
+from repro.analysis import print_table
+from repro.core import run_collection
+from repro.graphs import (
+    gnp_connected,
+    grid,
+    path,
+    reference_bfs_tree,
+)
+from repro.radio import RadioNetwork, SilentProcess
+
+
+def idle_slot_rate(graph, slots=2_000):
+    """Slots/second with all-silent stations (pure engine overhead)."""
+    network = RadioNetwork(graph)
+    network.attach_all(SilentProcess)
+    start = time.perf_counter()
+    network.run(slots)
+    elapsed = time.perf_counter() - start
+    return slots / elapsed
+
+
+def test_e0_engine_throughput(benchmark):
+    rows = []
+    for name, graph in [
+        ("path-64", path(64)),
+        ("grid-16x16", grid(16, 16)),
+        ("gnp-128", gnp_connected(128, 0.08, random.Random(1))),
+    ]:
+        rate = idle_slot_rate(graph)
+        rows.append(
+            [
+                name,
+                graph.num_nodes,
+                graph.num_edges,
+                rate,
+                rate * graph.num_nodes,
+            ]
+        )
+    print_table(
+        ["topology", "n", "edges", "slots/s", "station-slots/s"],
+        rows,
+        title="E0: engine throughput (idle stations; protocol work extra)",
+    )
+    # A laptop-scale floor: the harness assumes ~10^4 slots/s at n≈100.
+    assert all(row[3] > 2_000 for row in rows)
+
+    # The benchmark proper: a busy protocol workload (collection).
+    graph = grid(6, 6)
+    tree = reference_bfs_tree(graph, 0)
+    sources = {n: ["m"] for n in list(graph.nodes)[1:13]}
+    benchmark(
+        lambda: run_collection(graph, tree, sources, seed=3).slots
+    )

@@ -1,0 +1,84 @@
+"""E5 — the §4.3 queueing closed forms vs simulation.
+
+For a (λ, µ) grid of Bernoulli servers, compares:
+
+* stationary queue-length distribution p_j (total-variation distance),
+* mean queue length N̄ = λ(1−λ)/(µ−λ),
+* sojourn time E(T) = (1−λ)/(µ−λ) (Little's result),
+* departure process rate and geometric interdeparture gaps (Hsu–Burke).
+"""
+
+import random
+
+from conftest import ROOT_SEED
+
+from repro.analysis import (
+    geometric_pmf,
+    print_table,
+    total_variation_distance,
+)
+from repro.queueing import (
+    expected_queue_length,
+    expected_sojourn_time,
+    interdeparture_histogram,
+    observe_single_server,
+    stationary_distribution,
+)
+
+
+def test_e5_queueing_closed_forms(benchmark):
+    rows = []
+    steps = 120_000
+    for lam, mu in [(0.05, 0.2), (0.1, 0.3), (0.12, 0.2325), (0.2, 0.5)]:
+        obs = observe_single_server(
+            lam, mu, steps=steps, rng=random.Random(ROOT_SEED)
+        )
+        predicted_n = expected_queue_length(lam, mu)
+        predicted_t = expected_sojourn_time(lam, mu)
+        tv_queue = total_variation_distance(
+            [obs.empirical_p(j) for j in range(12)],
+            stationary_distribution(lam, mu, j_max=11),
+        )
+        hist = interdeparture_histogram(obs, max_gap=40)
+        tv_dep = total_variation_distance(
+            [hist.get(g, 0.0) for g in range(1, 30)],
+            [geometric_pmf(lam, g) for g in range(1, 30)],
+        )
+        rows.append(
+            [
+                lam,
+                mu,
+                obs.mean_queue_length,
+                predicted_n,
+                obs.mean_sojourn_time,
+                predicted_t,
+                obs.departure_rate,
+                tv_queue,
+                tv_dep,
+            ]
+        )
+        assert abs(obs.mean_queue_length - predicted_n) / predicted_n < 0.12
+        assert abs(obs.mean_sojourn_time - predicted_t) / predicted_t < 0.12
+        assert abs(obs.departure_rate - lam) / lam < 0.05
+        assert tv_queue < 0.03
+        assert tv_dep < 0.04
+    print_table(
+        [
+            "λ",
+            "µ",
+            "N̄ meas",
+            "N̄ pred",
+            "E(T) meas",
+            "E(T) pred",
+            "dep rate",
+            "TV(p_j)",
+            "TV(gaps)",
+        ],
+        rows,
+        title="E5: Geo/Geo/1 closed forms vs simulation (Hsu–Burke)",
+    )
+    benchmark(
+        lambda: observe_single_server(
+            0.1, 0.3, steps=10_000, rng=random.Random(1)
+        )
+    )

@@ -1,0 +1,68 @@
+"""E9 — §7: ranking in O(n·log n·log Δ) time.
+
+Sweeps n and reports slots normalized by n·log2(n)·log2(Δ); the §7 claim
+is a flat constant.  (Excludes the setup cost, matching the paper's "not
+including the setup costs of Section 2".)
+"""
+
+import math
+import random
+
+from conftest import replication_seeds
+
+from repro.analysis import print_table, scaling_exponent, summarize
+from repro.core import run_ranking
+from repro.graphs import path, random_geometric, reference_bfs_tree
+
+
+def measure_ranking(build, name):
+    samples = []
+    for seed in replication_seeds(name, 3):
+        graph = build(random.Random(seed))
+        tree = reference_bfs_tree(graph, 0)
+        tree.assign_dfs_intervals()
+        result = run_ranking(graph, tree, seed=seed)
+        expected = {v: i + 1 for i, v in enumerate(sorted(graph.nodes))}
+        assert result.ranks == expected
+        samples.append(float(result.slots))
+    return summarize(samples).mean
+
+
+def test_e9_ranking_scaling(benchmark):
+    rows = []
+    sizes = [8, 16, 32]
+    means = {}
+    for n in sizes:
+        for family, build in [
+            (f"path-{n}", lambda r, n=n: path(n)),
+            (
+                f"rgg-{n}",
+                lambda r, n=n: random_geometric(
+                    n, radius=max(0.25, 1.8 / math.sqrt(n)), rng=r
+                ),
+            ),
+        ]:
+            graph = build(random.Random(0))
+            mean = measure_ranking(build, f"e9-{family}")
+            means[family] = mean
+            norm = mean / (
+                graph.num_nodes
+                * math.log2(max(2, graph.num_nodes))
+                * math.log2(max(2, graph.max_degree()))
+            )
+            rows.append([family, graph.num_nodes, mean, norm])
+    print_table(
+        ["topology", "n", "slots (mean)", "slots/(n·logn·logΔ)"],
+        rows,
+        title="E9: ranking cost, normalized to the §7 bound",
+    )
+    alpha = scaling_exponent(
+        sizes, [means[f"path-{n}"] for n in sizes]
+    )
+    # O(n log n): log-log slope a bit above 1, far below 2.
+    assert 0.7 <= alpha <= 1.6, alpha
+
+    graph = path(10)
+    tree = reference_bfs_tree(graph, 0)
+    tree.assign_dfs_intervals()
+    benchmark(lambda: run_ranking(graph, tree, seed=2).slots)

@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` file reproduces one experiment from the DESIGN.md
+index (E1–E13).  Running::
+
+    pytest benchmarks/ --benchmark-only
+
+executes every experiment, prints its table (the reproduced "table/figure"
+recorded in EXPERIMENTS.md), asserts the paper's qualitative claims
+(who wins, which bound holds), and reports wall-clock timings via
+pytest-benchmark for a representative kernel of each experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.rng import RngFactory
+
+#: Experiment-wide root seed; every benchmark derives from it.
+ROOT_SEED = 20260704
+
+
+def replication_seeds(name: str, count: int) -> List[int]:
+    """Independent seeds for one experiment's replications."""
+    factory = RngFactory(ROOT_SEED)
+    sub = RngFactory(factory.named(name).randrange(2**63))
+    return list(sub.replication_seeds(count))
+
+
+def mean_over_seeds(name: str, count: int, fn: Callable[[int], float]) -> float:
+    seeds = replication_seeds(name, count)
+    return sum(fn(seed) for seed in seeds) / len(seeds)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Emergency broadcast over a campus grid: pipelining vs repeated floods.
+
+Scenario: a campus is covered by a grid of short-range radio relays.
+Several stations raise alerts that must reach *every* relay, in a
+consistent order, reliably.  This is exactly the paper's k-broadcast:
+alerts are collected to the root and distributed down the BFS tree in
+pipelined superphases; sequence numbers + gap-NACKs make delivery exact.
+
+The script also runs the §6 "what if we didn't pipeline" alternative —
+one staged flood per alert — to show where the throughput gain comes
+from, and demonstrates the NACK recovery path by shrinking superphases
+until hops actually fail.
+
+Usage: python examples/emergency_broadcast.py [seed]
+"""
+
+import sys
+
+from repro.baselines import staged_flood_slots
+from repro.core import run_broadcast
+from repro.graphs import grid, reference_bfs_tree
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+
+    campus = grid(6, 6)
+    tree = reference_bfs_tree(campus, root=0)
+    print(
+        f"campus grid: n={campus.num_nodes}, D={tree.depth * 1}, "
+        f"Δ={campus.max_degree()}"
+    )
+
+    alerts = {
+        7: [f"fire drill update {i} from bldg 7" for i in range(5)],
+        22: ["road closed at 22", "update: reopened"],
+        35: [f"evac status {i} from bldg 35" for i in range(5)],
+    }
+    k = sum(len(v) for v in alerts.values())
+
+    # --- pipelined k-broadcast ----------------------------------------------
+    result = run_broadcast(campus, tree, alerts, seed=seed)
+    print(
+        f"\npipelined broadcast: {k} alerts everywhere in "
+        f"{result.slots} slots ({result.superphases} superphases, "
+        f"{result.resends} NACK-driven resends)"
+    )
+    print(
+        f"throughput: {result.slots / k:.0f} slots/alert once the "
+        f"pipeline is full"
+    )
+
+    # --- the non-pipelined alternative ---------------------------------------
+    per_flood = staged_flood_slots(
+        tree.depth, campus.num_nodes, campus.max_degree()
+    )
+    print(
+        f"\nnon-pipelined alternative (one staged flood per alert): "
+        f"{per_flood} slots × {k} alerts = {per_flood * k} slots "
+        f"→ pipelining is {per_flood * k / result.slots:.1f}× faster here"
+    )
+
+    # --- reliability under a starved pipeline -------------------------------
+    stressed = run_broadcast(
+        campus, tree, alerts, seed=seed + 1, invocations=1
+    )
+    print(
+        f"\nstress test (1 Decay try per hop per superphase): delivered "
+        f"everywhere = {stressed.delivered_everywhere}, with "
+        f"{stressed.resends} NACK-driven resends healing the losses"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Point-to-point messaging over a deep relay chain (§5).
+
+Scenario: stations strung along a pipeline (a road, a river, a border
+fence) exchange unicast messages.  The paper's point-to-point service
+runs the token-DFS preparation once (§5.1) so every station can route by
+DFS address — up to the lowest common ancestor, then down — and then
+pipelines any number of concurrent transmissions.
+
+The script runs a mixed workload, shows per-message routes, and compares
+against the sequential store-and-forward baseline to exhibit the
+pipelining crossover the paper's throughput claim implies.
+
+Usage: python examples/p2p_messaging.py [seed] [n]
+"""
+
+import random
+import sys
+
+from repro.baselines import run_sequential_p2p
+from repro.core import apply_preparation, run_dfs_preparation, run_point_to_point
+from repro.graphs import caterpillar, reference_bfs_tree
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    spine = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+
+    # A caterpillar: a deep spine with local clusters hanging off it.
+    network = caterpillar(spine, legs=2)
+    tree = reference_bfs_tree(network, root=0)
+    print(
+        f"relay chain: n={network.num_nodes}, depth={tree.depth}, "
+        f"Δ={network.max_degree()}"
+    )
+
+    # --- §5.1 preparation: the two token-DFS traversals ----------------------
+    preparation = run_dfs_preparation(network, tree)
+    apply_preparation(tree, preparation)
+    print(
+        f"preparation: DFS addressing installed in {preparation.slots} "
+        f"slots (deterministic, conflict-free token)"
+    )
+
+    # --- a mixed messaging workload -----------------------------------------
+    rng = random.Random(seed)
+    nodes = list(network.nodes)
+    workload = []
+    for index in range(24):
+        u, v = rng.choice(nodes), rng.choice(nodes)
+        if u != v:
+            workload.append((u, v, f"msg#{index}"))
+    result = run_point_to_point(network, tree, workload, seed=seed)
+    print(
+        f"\npipelined: {result.messages_delivered} messages in "
+        f"{result.slots} slots ({result.slots / len(workload):.1f} "
+        f"slots/message amortized)"
+    )
+    for source, dest, payload in workload[:4]:
+        route = tree.tree_path(source, dest)
+        print(f"  {payload}: {source} -> {dest}, tree route {route}")
+
+    # --- sequential baseline -------------------------------------------------
+    sequential = run_sequential_p2p(network, tree, workload)
+    print(
+        f"\nsequential store-and-forward: {sequential.slots} slots "
+        f"({sequential.hop_total} hops, one at a time)"
+    )
+    ratio = sequential.slots / result.slots
+    verdict = "pipelining wins" if ratio > 1 else "sequential wins (k too small)"
+    print(f"speedup from pipelining: {ratio:.2f}× — {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The §4 analysis, hands on: Bernoulli servers and the model chain.
+
+Reproduces the paper's analytical pipeline interactively:
+
+1. one Geo/Geo/1 Bernoulli server — simulated stationary distribution vs
+   the closed forms (p_j, N̄, Little's E(T), Hsu–Burke departures);
+2. the tandem of D servers — Theorem 4.3's completion-time formula vs
+   simulation;
+3. the model chain — the radio protocol (model 1) bounded by models
+   2 ≤ 3 ≤ 4, with the Theorem 4.4 constant emerging at the end.
+
+Usage: python examples/queueing_playground.py [seed]
+"""
+
+import random
+import sys
+
+from repro.analysis import print_table
+from repro.core import MU, LAMBDA_STAR, run_collection, theorem_44_constant
+from repro.graphs import path, reference_bfs_tree
+from repro.queueing import (
+    expected_queue_length,
+    expected_sojourn_time,
+    model4_prediction,
+    observe_single_server,
+    radio_completion_phases,
+    simulate_model2,
+    simulate_model3,
+    simulate_model4,
+    stationary_distribution,
+)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    rng = random.Random(seed)
+
+    # --- 1. a single Bernoulli server ---------------------------------------
+    lam, mu = 0.12, MU  # the paper's µ, loaded at λ* < µ
+    obs = observe_single_server(lam, mu, steps=80_000, rng=rng)
+    rows = [
+        ["queue length N̄", obs.mean_queue_length, expected_queue_length(lam, mu)],
+        ["sojourn E(T)", obs.mean_sojourn_time, expected_sojourn_time(lam, mu)],
+        ["departure rate", obs.departure_rate, lam],
+    ]
+    print_table(
+        ["quantity", "simulated", "closed form"],
+        rows,
+        title=f"one Bernoulli server, λ={lam}, µ={mu:.4f}",
+    )
+    dist_rows = [
+        [j, obs.empirical_p(j), p]
+        for j, p in enumerate(stationary_distribution(lam, mu, 5))
+    ]
+    print_table(["j", "p_j simulated", "p_j closed form"], dist_rows)
+
+    # --- 2. the tandem and Theorem 4.3 ---------------------------------------
+    k, depth = 8, 6
+    reps = 300
+    mean4 = sum(
+        simulate_model4(k, depth, mu, LAMBDA_STAR, random.Random(seed + i)).steps
+        for i in range(reps)
+    ) / reps
+    predicted = model4_prediction(k, depth, mu=mu, lam=LAMBDA_STAR)
+    print(
+        f"\nTheorem 4.3 (k={k}, D={depth}): predicted "
+        f"{predicted:.1f} phases, simulated {mean4:.1f} phases"
+    )
+
+    # --- 3. the model chain ---------------------------------------------------
+    graph = path(depth + 1)
+    tree = reference_bfs_tree(graph, 0)
+    radio_reps = 30
+    phases1 = 0.0
+    for i in range(radio_reps):
+        result = run_collection(
+            graph, tree, {depth: [f"m{j}" for j in range(k)]}, seed=seed + i
+        )
+        phases1 += radio_completion_phases(
+            result.slots, result.slot_structure.phase_length
+        )
+    phases1 /= radio_reps
+    mean2 = sum(
+        simulate_model2(
+            (0,) * (depth - 1) + (k,), mu, random.Random(seed + i)
+        ).steps
+        for i in range(reps)
+    ) / reps
+    mean3 = sum(
+        simulate_model3(k, depth, mu, LAMBDA_STAR, random.Random(seed + i)).steps
+        for i in range(reps)
+    ) / reps
+    print_table(
+        ["model", "expected completion (phases)"],
+        [
+            ["1: radio network (measured)", phases1],
+            ["2: messages pre-placed", mean2],
+            ["3: Bernoulli arrivals", mean3],
+            ["4: steady-state start", mean4],
+            ["Theorem 4.3 closed form", predicted],
+        ],
+        title="the §4.2 reduction chain (each row upper-bounds the one above)",
+    )
+    print(
+        f"\n…and at λ* = 1−√(1−µ) = {LAMBDA_STAR:.4f} the bound becomes "
+        f"(k+D)/λ* phases × 4·logΔ slots/phase = "
+        f"{theorem_44_constant():.2f}·(k+D)·logΔ slots — Theorem 4.4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim (the environment's setuptools lacks wheel support).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` via the setup.py develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,161 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo [seed]``
+    Run the quickstart scenario (all four services on one network).
+``timeline [seed]``
+    Render the collection pipeline draining as an ASCII heatmap.
+``congestion [seed]``
+    Measure the §8-remark-(5) root congestion on a deep network.
+``map [seed]``
+    Draw a positioned unit-disk field with BFS levels as symbols.
+``experiments``
+    List the experiment registry (id, claim, bench file).
+``validate``
+    Run the quick self-check: verify each headline claim in seconds.
+``info``
+    Print package version and the paper's headline constants.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+
+def _cmd_demo(seed: int) -> None:
+    from repro.core import (
+        run_broadcast,
+        run_collection,
+        run_point_to_point,
+        run_ranking,
+    )
+    from repro.graphs import diameter, random_geometric, reference_bfs_tree
+
+    graph = random_geometric(30, radius=0.32, rng=random.Random(seed))
+    tree = reference_bfs_tree(graph, root=0)
+    tree.assign_dfs_intervals()
+    print(
+        f"n={graph.num_nodes} D={diameter(graph)} Δ={graph.max_degree()} "
+        f"depth={tree.depth}"
+    )
+    c = run_collection(graph, tree, {5: ["a"], 9: ["b"]}, seed=seed)
+    print(f"collection: {c.messages_delivered} msgs in {c.slots} slots")
+    p = run_point_to_point(graph, tree, [(3, 17, "x")], seed=seed)
+    print(f"point-to-point: {p.messages_delivered} msgs in {p.slots} slots")
+    b = run_broadcast(graph, tree, {8: ["alert"]}, seed=seed)
+    print(f"broadcast: everywhere={b.delivered_everywhere} in {b.slots} slots")
+    r = run_ranking(graph, tree, seed=seed)
+    print(f"ranking: {len(r.ranks)} stations ranked in {r.slots} slots")
+
+
+def _cmd_timeline(seed: int) -> None:
+    from repro.analysis import record_collection_timeline, render_timeline
+    from repro.graphs import path, reference_bfs_tree
+
+    graph = path(14)
+    tree = reference_bfs_tree(graph, 0)
+    sources = {13: [f"m{i}" for i in range(8)], 7: ["n0", "n1"]}
+    timeline = record_collection_timeline(graph, tree, sources, seed=seed)
+    print(render_timeline(timeline))
+    print(f"(drained in {timeline.phases - 1} phases of "
+          f"{timeline.phase_length} slots)")
+
+
+def _cmd_congestion(seed: int) -> None:
+    from repro.analysis import congestion_profile
+    from repro.graphs import balanced_tree, reference_bfs_tree
+
+    graph = balanced_tree(3, 3)
+    tree = reference_bfs_tree(graph, 0)
+    sources = {
+        node: ["r"] for node in tree.nodes if tree.level[node] == tree.depth
+    }
+    profile = congestion_profile(graph, tree, sources, seed=seed)
+    print("§8 remark (5): transmission share by BFS level")
+    for level in sorted(profile.per_level_transmissions):
+        share = profile.load_share(level)
+        bar = "#" * int(50 * share)
+        print(f"  L{level}: {share:6.1%} {bar}")
+    print(f"busiest level: {profile.busiest_level} "
+          f"(the root's children carry everything)")
+
+
+def _cmd_map(seed: int) -> None:
+    from repro.graphs import (
+        ascii_map,
+        diameter,
+        random_geometric_with_positions,
+        reference_bfs_tree,
+    )
+
+    graph, positions = random_geometric_with_positions(
+        30, radius=0.3, rng=random.Random(seed)
+    )
+    tree = reference_bfs_tree(graph, root=0)
+    print(
+        f"unit-disk field: n={graph.num_nodes}, D={diameter(graph)}, "
+        f"Δ={graph.max_degree()} — symbols are BFS levels, R = root"
+    )
+    print(
+        ascii_map(
+            graph,
+            positions,
+            width=64,
+            height=20,
+            label=lambda v: "R" if v == tree.root else str(tree.level[v] % 10),
+        )
+    )
+
+
+def _cmd_info() -> None:
+    import repro
+    from repro.core import LAMBDA_STAR, MU, theorem_44_constant
+
+    print(f"repro {repro.__version__} — Bar-Yehuda, Israeli & Itai, "
+          f"PODC 1989")
+    print(f"µ  = e⁻¹(1−e⁻¹)      = {MU:.6f}   (Theorem 4.1)")
+    print(f"λ* = 1−√(1−µ)        = {LAMBDA_STAR:.6f}   (Theorem 4.3 tuning)")
+    print(f"4/λ*                 = {theorem_44_constant():.2f}      "
+          f"(Theorem 4.4 constant)")
+
+
+def main(argv: list) -> int:
+    if len(argv) < 1 or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command = argv[0]
+    seed = int(argv[1]) if len(argv) > 1 else 7
+    if command == "demo":
+        _cmd_demo(seed)
+    elif command == "timeline":
+        _cmd_timeline(seed)
+    elif command == "congestion":
+        _cmd_congestion(seed)
+    elif command == "map":
+        _cmd_map(seed)
+    elif command == "experiments":
+        from repro.analysis.experiments import registry_table
+
+        print(registry_table())
+    elif command == "validate":
+        from repro.validate import run_validation
+
+        results = run_validation()
+        return 0 if all(r.passed for r in results) else 1
+    elif command == "info":
+        _cmd_info()
+    else:
+        print(f"unknown command {command!r}\n", file=sys.stderr)
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        raise SystemExit(0)

@@ -1,0 +1,55 @@
+"""Experiment scaffolding: statistics, sweeps, table rendering."""
+
+from repro.analysis.experiments import Experiment, REGISTRY, by_id, registry_table
+from repro.analysis.stats import (
+    Summary,
+    geometric_pmf,
+    linear_fit,
+    r_squared,
+    replicate,
+    scaling_exponent,
+    summarize,
+    total_variation_distance,
+)
+from repro.analysis.sweep import (
+    ReplicatedMeasurement,
+    TopologyPoint,
+    replicated,
+    standard_topologies,
+    sweep,
+)
+from repro.analysis.tables import format_table, print_table
+from repro.analysis.timeline import (
+    CongestionProfile,
+    Timeline,
+    congestion_profile,
+    record_collection_timeline,
+    render_timeline,
+)
+
+__all__ = [
+    "CongestionProfile",
+    "Experiment",
+    "REGISTRY",
+    "ReplicatedMeasurement",
+    "Summary",
+    "TopologyPoint",
+    "Timeline",
+    "congestion_profile",
+    "format_table",
+    "geometric_pmf",
+    "linear_fit",
+    "print_table",
+    "r_squared",
+    "record_collection_timeline",
+    "render_timeline",
+    "replicate",
+    "replicated",
+    "scaling_exponent",
+    "standard_topologies",
+    "by_id",
+    "registry_table",
+    "summarize",
+    "sweep",
+    "total_variation_distance",
+]

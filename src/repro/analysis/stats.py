@@ -1,0 +1,117 @@
+"""Statistics utilities for experiment harnesses.
+
+Kept dependency-light (plain Python + math); SciPy is only used by tests
+for cross-validation, never by the library itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a normal-approximation confidence interval."""
+
+    mean: float
+    stddev: float
+    count: int
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.ci_half_width:.2f} (n={self.count})"
+
+
+def summarize(samples: Sequence[float], z: float = 1.96) -> Summary:
+    """Mean, sample stddev and a z-interval for the mean."""
+    if not samples:
+        raise ConfigurationError("cannot summarize an empty sample")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n > 1:
+        variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    else:
+        variance = 0.0
+    stddev = math.sqrt(variance)
+    half = z * stddev / math.sqrt(n)
+    return Summary(
+        mean=mean,
+        stddev=stddev,
+        count=n,
+        ci_low=mean - half,
+        ci_high=mean + half,
+    )
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y ≈ slope·x + intercept``."""
+    if len(xs) != len(ys):
+        raise ConfigurationError("x/y length mismatch")
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two points to fit a line")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ConfigurationError("degenerate fit: all x equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return slope, mean_y - slope * mean_x
+
+def r_squared(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Coefficient of determination of the linear fit."""
+    slope, intercept = linear_fit(xs, ys)
+    mean_y = sum(ys) / len(ys)
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    if ss_tot == 0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def scaling_exponent(sizes: Sequence[float], costs: Sequence[float]) -> float:
+    """Fit ``cost ≈ c·size^α`` and return α (log–log slope).
+
+    Experiments use this to check measured growth against the paper's
+    orders: e.g. collection slots vs k should fit α ≈ 1 at fixed D, Δ.
+    """
+    if any(s <= 0 for s in sizes) or any(c <= 0 for c in costs):
+        raise ConfigurationError("scaling fit requires positive data")
+    slope, _intercept = linear_fit(
+        [math.log(s) for s in sizes], [math.log(c) for c in costs]
+    )
+    return slope
+
+
+def geometric_pmf(p: float, k: int) -> float:
+    """P[Geom(p) = k] for k ≥ 1 (support on {1, 2, …})."""
+    if not 0.0 < p <= 1.0:
+        raise ConfigurationError(f"p must be in (0,1], got {p}")
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    return p * (1.0 - p) ** (k - 1)
+
+
+def total_variation_distance(
+    p: Sequence[float], q: Sequence[float]
+) -> float:
+    """½·Σ|p_i − q_i| over the common support (padded with zeros)."""
+    length = max(len(p), len(q))
+    padded_p = list(p) + [0.0] * (length - len(p))
+    padded_q = list(q) + [0.0] * (length - len(q))
+    return 0.5 * sum(abs(a - b) for a, b in zip(padded_p, padded_q))
+
+
+def replicate(fn, seeds: Sequence[int]) -> List[float]:
+    """Run ``fn(seed)`` for each seed, collecting float results."""
+    return [float(fn(seed)) for seed in seeds]

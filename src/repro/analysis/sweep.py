@@ -1,0 +1,135 @@
+"""Parameter sweeps and seeded replication for experiments.
+
+An experiment in this repo is: a topology family point × a workload ×
+replications over independent seeds, summarized into one table row.  This
+module provides the scaffolding so each bench file only declares *what*
+varies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Graph,
+    balanced_tree,
+    caterpillar,
+    grid,
+    layered_band,
+    path,
+    random_geometric,
+    random_tree,
+    star,
+)
+from repro.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class TopologyPoint:
+    """One topology configuration in a sweep, with a human-readable name."""
+
+    name: str
+    build: Callable[[random.Random], Graph]
+
+    def make(self, seed: int) -> Graph:
+        return self.build(random.Random(seed))
+
+
+def standard_topologies(scale: int = 1) -> List[TopologyPoint]:
+    """The default sweep: families spanning the (D, Δ) plane.
+
+    ``scale`` multiplies sizes (1 = quick test scale, 2-4 = bench scale).
+    """
+    if scale < 1:
+        raise ConfigurationError("scale must be >= 1")
+    s = scale
+    return [
+        TopologyPoint(f"path-{16 * s}", lambda r, n=16 * s: path(n)),
+        TopologyPoint(f"star-{16 * s}", lambda r, n=16 * s: star(n)),
+        TopologyPoint(
+            f"grid-{4 * s}x{4 * s}", lambda r, a=4 * s: grid(a, a)
+        ),
+        TopologyPoint(
+            f"tree-b3-d{2 + (s > 1)}",
+            lambda r, d=2 + (1 if s > 1 else 0): balanced_tree(3, d),
+        ),
+        TopologyPoint(
+            f"caterpillar-{8 * s}x3",
+            lambda r, sp=8 * s: caterpillar(sp, 3),
+        ),
+        TopologyPoint(
+            f"rgg-{24 * s}",
+            lambda r, n=24 * s: random_geometric(n, radius=0.3, rng=r),
+        ),
+        TopologyPoint(
+            f"rtree-{24 * s}",
+            lambda r, n=24 * s: random_tree(n, rng=r),
+        ),
+        TopologyPoint(
+            f"band-{6 * s}x4",
+            lambda r, layers=6 * s: layered_band(layers, 4),
+        ),
+    ]
+
+
+@dataclass
+class ReplicatedMeasurement:
+    """All replications of one measurement plus its summary."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def summary(self) -> Summary:
+        return summarize(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.summary.mean
+
+
+def replicated(
+    measure: Callable[[int], float],
+    replications: int,
+    seed: int,
+    label: str = "measure",
+) -> ReplicatedMeasurement:
+    """Run ``measure(seed_i)`` over independent derived seeds."""
+    if replications < 1:
+        raise ConfigurationError("need at least one replication")
+    factory = RngFactory(seed)
+    out = ReplicatedMeasurement()
+    for rep_seed in factory.replication_seeds(replications):
+        out.add(float(measure(rep_seed)))
+    return out
+
+
+def sweep(
+    points: Sequence[TopologyPoint],
+    measure: Callable[[Graph, int], float],
+    replications: int,
+    seed: int,
+) -> Dict[str, ReplicatedMeasurement]:
+    """Measure over each topology point with seeded replications.
+
+    The topology itself is re-sampled per replication for randomized
+    families, so the variance covers both topology and protocol coins.
+    """
+    results: Dict[str, ReplicatedMeasurement] = {}
+    factory = RngFactory(seed)
+    for index, point in enumerate(points):
+        sub = factory.spawn(index)
+        measurement = ReplicatedMeasurement()
+        for rep, rep_seed in enumerate(
+            sub.replication_seeds(replications)
+        ):
+            graph = point.make(rep_seed)
+            measurement.add(float(measure(graph, rep_seed)))
+        results[point.name] = measurement
+    return results

@@ -1,0 +1,67 @@
+"""ASCII table rendering for the experiment harnesses.
+
+Every benchmark prints its result as one of these tables so the console
+output of ``pytest benchmarks/ --benchmark-only`` *is* the reproduced
+"table" for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a rule under the header."""
+    materialized: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [_format_cell(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, header has {len(headers)}"
+            )
+        materialized.append(cells)
+    widths = [
+        max(len(row[col]) for row in materialized)
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cell.ljust(width) for cell, width in zip(materialized[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized[1:]:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> None:
+    """Print a table (flushed, so it survives pytest capture ordering)."""
+    print()
+    print(format_table(headers, rows, title=title), flush=True)

@@ -1,0 +1,81 @@
+"""Slotted-ALOHA retransmission policy — the classical alternative to Decay.
+
+Decay's geometric back-off needs no knowledge beyond the Δ bound and wins
+its 1/2 success guarantee in ``2·log Δ`` slots.  The classical slotted
+ALOHA alternative transmits in every slot independently with probability
+``p`` (optimally ``p = 1/m`` for m contenders, giving success probability
+``m·p·(1−p)^(m−1) → 1/e`` per slot *if m is known*).  Since stations only
+know Δ, fixed ``p = 1/Δ`` over-throttles small contender sets: with m ≪ Δ
+the per-slot success rate is ≈ m/Δ, so a window of 2·log Δ slots succeeds
+with probability ≈ 1 − (1 − m/Δ)^(2 log Δ) ≪ 1/2.
+
+Experiment E12 plugs :class:`AlohaSession` into the transport lane (same
+window length as Decay) and measures the end-to-end slowdown.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+class AlohaSession:
+    """Per-phase session: transmit each opportunity w.p. ``p``.
+
+    Implements the same interface as
+    :class:`repro.core.decay.DecaySession` so it can be swapped into
+    :class:`repro.core.transport.TransportLane` via ``session_factory``.
+    """
+
+    def __init__(self, probability: float, rng: random.Random):
+        if not 0.0 < probability <= 1.0:
+            raise ConfigurationError(
+                f"transmission probability must be in (0,1], got {probability}"
+            )
+        self.probability = probability
+        self._rng = rng
+        self._killed = False
+
+    @property
+    def alive(self) -> bool:
+        return not self._killed
+
+    def should_transmit(self) -> bool:
+        if self._killed:
+            return False
+        return self._rng.random() < self.probability
+
+    def kill(self) -> None:
+        self._killed = True
+
+
+def aloha_session_factory(
+    probability: float, rng: random.Random
+) -> Callable[[], AlohaSession]:
+    """A ``session_factory`` for TransportLane using slotted ALOHA."""
+    return lambda: AlohaSession(probability, rng)
+
+
+def aloha_success_probability(
+    num_transmitters: int, probability: float, window: int
+) -> float:
+    """P[some slot in the window has exactly one transmitter].
+
+    Closed form for a star of independent ALOHA transmitters: per slot,
+    ``m·p·(1−p)^(m−1)``; over a window of w independent slots,
+    ``1 − (1 − s)^w``.
+    """
+    if num_transmitters < 1:
+        raise ConfigurationError("need at least one transmitter")
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    if not 0.0 < probability <= 1.0:
+        raise ConfigurationError("probability must be in (0,1]")
+    per_slot = (
+        num_transmitters
+        * probability
+        * (1.0 - probability) ** (num_transmitters - 1)
+    )
+    return 1.0 - (1.0 - per_slot) ** window

@@ -1,0 +1,366 @@
+"""Leader election for the setup phase.
+
+The paper delegates leader election to Bar-Yehuda, Goldreich & Itai's
+companion paper [4] (a tournament built on single-hop emulation, expected
+``O(loglog n · (D + log n) · log Δ)``).  Reproducing [4] wholesale is out of
+scope (see DESIGN.md §4); what *this* paper needs from it is only: a unique
+station ends up knowing it is the leader, whp, in setup time.
+
+We substitute an **epidemic max-ID election**: every station repeatedly
+Decay-broadcasts the largest ID it has heard of; rounds are window-aligned
+Decay invocations; after a horizon of ``rounds`` every station believes the
+largest ID it has seen, and a station whose own ID equals its belief
+declares itself leader.  The true maximum always believes itself, so there
+is always at least one leader and the true max is always among the
+leaders; a *false* extra leader (a station that never heard of any larger
+ID) is possible with small probability and is caught by the setup phase's
+Las-Vegas verification (two roots → the root never collects n−1
+confirmations → retry, §2).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.decay import DecaySession
+from repro.core.messages import LeaderMessage
+from repro.core.slots import decay_budget
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph, NodeId
+from repro.radio.network import RadioNetwork
+from repro.radio.process import Process
+from repro.radio.transmission import Transmission
+from repro.rng import RngFactory
+
+
+class LeaderElectionProcess(Process):
+    """Epidemic max-ID gossip: one Decay invocation per round.
+
+    Rounds are aligned at slot multiples of ``budget`` so that all
+    stations run the *same* invocation, as Decay's property (2) assumes.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        budget: int,
+        rounds: int,
+        rng: random.Random,
+        channel: int = 0,
+    ):
+        super().__init__(node_id)
+        self.budget = budget
+        self.rounds = rounds
+        self.channel = channel
+        self._rng = rng
+        self.best_id: NodeId = node_id
+        self._session: Optional[DecaySession] = None
+        self._session_round = -1
+
+    def _round(self, slot: int) -> int:
+        return slot // self.budget
+
+    @property
+    def horizon_slots(self) -> int:
+        """Slots after which the election result is read out."""
+        return self.rounds * self.budget
+
+    def on_slot(self, slot: int):
+        round_index = self._round(slot)
+        if round_index >= self.rounds:
+            return None
+        if self._session_round != round_index:
+            self._session = DecaySession(self.budget, self._rng)
+            self._session_round = round_index
+        assert self._session is not None
+        if self._session.should_transmit():
+            return Transmission(
+                LeaderMessage(sender=self.node_id, best_id=self.best_id),
+                self.channel,
+            )
+        return None
+
+    def on_receive(self, slot: int, channel: int, payload) -> None:
+        if channel != self.channel:
+            return
+        if isinstance(payload, LeaderMessage):
+            if payload.best_id > self.best_id:  # type: ignore[operator]
+                self.best_id = payload.best_id
+
+    def believes_leader(self) -> bool:
+        """After the horizon: does this station think it is the leader?"""
+        return self.best_id == self.node_id
+
+    def is_done(self) -> bool:
+        return False  # horizon-driven, not event-driven
+
+
+@dataclass
+class LeaderElectionResult:
+    """Outcome of one election run."""
+
+    leaders: List[NodeId]  # stations that believe they lead (usually one)
+    true_max: NodeId
+    slots: int
+    agreed: bool  # every station believes in the true maximum
+
+    @property
+    def unique(self) -> bool:
+        return len(self.leaders) == 1
+
+
+def default_election_rounds(n: int, diameter_bound: Optional[int] = None) -> int:
+    """A horizon that makes agreement overwhelmingly likely.
+
+    The max ID must cross at most ``diameter_bound`` hops; each hop takes a
+    small expected number of rounds, so ``4·(D̂ + log2 n) + 8`` rounds with
+    D̂ defaulting to n−1 (all any station knows a priori) is very safe.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    d_hat = diameter_bound if diameter_bound is not None else max(1, n - 1)
+    return 4 * (d_hat + max(1, math.ceil(math.log2(max(2, n))))) + 8
+
+
+def run_leader_election(
+    graph: Graph,
+    seed: int,
+    rounds: Optional[int] = None,
+    diameter_bound: Optional[int] = None,
+) -> LeaderElectionResult:
+    """Run one epidemic election over ``graph`` and report the outcome."""
+    factory = RngFactory(seed)
+    budget = decay_budget(graph.max_degree())
+    n = graph.num_nodes
+    if rounds is None:
+        rounds = default_election_rounds(n, diameter_bound)
+    network = RadioNetwork(graph, num_channels=1)
+    processes: Dict[NodeId, LeaderElectionProcess] = {}
+    for node in graph.nodes:
+        process = LeaderElectionProcess(
+            node_id=node,
+            budget=budget,
+            rounds=rounds,
+            rng=factory.for_node(node),
+        )
+        processes[node] = process
+        network.attach(process)
+    horizon = rounds * budget
+    network.run(horizon)
+    true_max = max(graph.nodes)  # type: ignore[type-var]
+    leaders = [
+        node for node, proc in processes.items() if proc.believes_leader()
+    ]
+    agreed = all(proc.best_id == true_max for proc in processes.values())
+    return LeaderElectionResult(
+        leaders=leaders, true_max=true_max, slots=network.slot, agreed=agreed
+    )
+
+
+class BitElectionProcess(Process):
+    """Bitwise tournament election (the higher-fidelity [4] stand-in).
+
+    The max ID is found bit by bit, from the most significant: in round b
+    every still-candidate station whose ID has bit b set *floods* a
+    one-bit "someone has a 1 here" signal for a fixed window (repeated
+    window-aligned Decay, BGI-broadcast style).  At the window's end,
+    every station that heard (or originated) the signal records bit b = 1
+    and candidates lacking the bit withdraw; silence records 0.  After
+    ``id_bits`` rounds every station holds the maximum ID, and the unique
+    station owning it becomes leader.
+
+    Cost: ``id_bits`` windows of ``(D̂ + 2·log n)`` Decay invocations —
+    ``O(log N · (D + log n) · log Δ)`` slots, the [4] shape without its
+    loglog refinement.  Success is whp per flood (a missed flood yields
+    disagreement, caught by the setup phase's Las-Vegas verification,
+    identically to the epidemic variant).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        id_bits: int,
+        budget: int,
+        window_invocations: int,
+        rng: random.Random,
+        channel: int = 0,
+    ):
+        super().__init__(node_id)
+        if id_bits < 1:
+            raise ConfigurationError(f"need id_bits >= 1, got {id_bits}")
+        self.id_bits = id_bits
+        self.budget = budget
+        self.window_invocations = window_invocations
+        self.window_slots = window_invocations * budget
+        self.channel = channel
+        self._rng = rng
+        self.candidate = True
+        self.known_prefix = 0  # the max ID's bits discovered so far
+        self._heard_this_round = False
+        self._session: Optional[DecaySession] = None
+        self._session_invocation = -1
+        self._finalized_round = -1
+
+    # ------------------------------------------------------------------
+    # Round arithmetic (slot-number driven)
+    # ------------------------------------------------------------------
+
+    def _round(self, slot: int) -> int:
+        return slot // self.window_slots
+
+    def _bit_of_round(self, round_index: int) -> int:
+        return self.id_bits - 1 - round_index
+
+    @property
+    def horizon_slots(self) -> int:
+        return self.id_bits * self.window_slots
+
+    def _finalize_rounds_through(self, round_index: int) -> None:
+        """Close every round before ``round_index`` (records its bit)."""
+        while self._finalized_round < round_index - 1:
+            closing = self._finalized_round + 1
+            bit = self._bit_of_round(closing)
+            heard = self._heard_this_round
+            self._heard_this_round = False
+            self._finalized_round = closing
+            if heard:
+                self.known_prefix |= 1 << bit
+                if self.candidate and not (self.node_id >> bit) & 1:
+                    self.candidate = False
+            # Silence leaves the bit 0 and candidates unchanged.
+
+    def _is_signal_source(self, round_index: int) -> bool:
+        if not self.candidate:
+            return False
+        bit = self._bit_of_round(round_index)
+        return bool((self.node_id >> bit) & 1)
+
+    # ------------------------------------------------------------------
+    # Engine callbacks
+    # ------------------------------------------------------------------
+
+    def on_slot(self, slot: int):
+        round_index = self._round(slot)
+        if round_index >= self.id_bits:
+            self._finalize_rounds_through(self.id_bits)
+            return None
+        self._finalize_rounds_through(round_index)
+        transmitting = self._is_signal_source(round_index) or (
+            self._heard_this_round
+        )
+        if not transmitting:
+            return None
+        if self._is_signal_source(round_index):
+            self._heard_this_round = True
+        invocation = slot // self.budget
+        if self._session_invocation != invocation:
+            self._session = DecaySession(self.budget, self._rng)
+            self._session_invocation = invocation
+        assert self._session is not None
+        if self._session.should_transmit():
+            return Transmission(
+                LeaderMessage(sender=self.node_id, best_id=round_index),
+                self.channel,
+            )
+        return None
+
+    def on_receive(self, slot: int, channel: int, payload) -> None:
+        if channel != self.channel:
+            return
+        if isinstance(payload, LeaderMessage):
+            if payload.best_id == self._round(slot):
+                self._heard_this_round = True
+
+    def believes_leader(self) -> bool:
+        """After the horizon: is this station the (unique) maximum?"""
+        self._finalize_rounds_through(self.id_bits)
+        return self.candidate and self.node_id == self.known_prefix
+
+    def known_max(self) -> int:
+        self._finalize_rounds_through(self.id_bits)
+        return self.known_prefix
+
+
+def run_bit_election(
+    graph: Graph,
+    seed: int,
+    diameter_bound: Optional[int] = None,
+    id_bits: Optional[int] = None,
+) -> LeaderElectionResult:
+    """Run the bitwise tournament election over ``graph``.
+
+    Station IDs must be non-negative integers; ``id_bits`` defaults to
+    the width of the largest ID (every station can compute a common width
+    from the known ID space, e.g. the bound N of §1.1).
+    """
+    if any(not isinstance(v, int) or v < 0 for v in graph.nodes):
+        raise ConfigurationError(
+            "bit election needs non-negative integer IDs"
+        )
+    factory = RngFactory(seed)
+    budget = decay_budget(graph.max_degree())
+    n = graph.num_nodes
+    if id_bits is None:
+        id_bits = max(1, max(graph.nodes).bit_length())  # type: ignore[arg-type]
+    d_hat = diameter_bound if diameter_bound is not None else max(1, n - 1)
+    window_invocations = d_hat + 2 * max(
+        1, math.ceil(math.log2(max(2, n)))
+    )
+    network = RadioNetwork(graph, num_channels=1)
+    processes: Dict[int, BitElectionProcess] = {}
+    for node in graph.nodes:
+        process = BitElectionProcess(
+            node_id=node,
+            id_bits=id_bits,
+            budget=budget,
+            window_invocations=window_invocations,
+            rng=factory.for_node(node),
+        )
+        processes[node] = process
+        network.attach(process)
+    network.run(processes[graph.nodes[0]].horizon_slots)
+    true_max = max(graph.nodes)  # type: ignore[type-var]
+    leaders = [
+        node for node, proc in processes.items() if proc.believes_leader()
+    ]
+    agreed = all(
+        proc.known_max() == true_max for proc in processes.values()
+    )
+    return LeaderElectionResult(
+        leaders=leaders, true_max=true_max, slots=network.slot, agreed=agreed
+    )
+
+
+def elect_leader(
+    graph: Graph,
+    seed: int,
+    max_attempts: int = 10,
+    diameter_bound: Optional[int] = None,
+) -> LeaderElectionResult:
+    """Las-Vegas wrapper: re-run the election until all stations agree.
+
+    In the full setup phase disagreement is detected by the BFS
+    confirmation count; here (when the election is run standalone) we use
+    the simulator's omniscience to the same effect.  Total slots across
+    attempts are accumulated into the returned result.
+    """
+    total_slots = 0
+    for attempt in range(max_attempts):
+        result = run_leader_election(
+            graph, seed=seed + attempt, diameter_bound=diameter_bound
+        )
+        total_slots += result.slots
+        if result.agreed and result.unique:
+            return LeaderElectionResult(
+                leaders=result.leaders,
+                true_max=result.true_max,
+                slots=total_slots,
+                agreed=True,
+            )
+    raise ConfigurationError(
+        f"leader election failed to converge in {max_attempts} attempts; "
+        f"increase the round horizon"
+    )

@@ -1,0 +1,112 @@
+"""The complete setup pipeline in one call.
+
+The paper's lifecycle is: elect a leader, build the BFS tree (Las-Vegas),
+run the §5.1 preparation — then any number of collections, point-to-point
+transmissions, broadcasts and rankings.  :func:`run_full_setup` performs
+the whole one-time phase and returns a DFS-prepared tree plus the slot
+accounting of each stage, so applications are three lines:
+
+    setup = run_full_setup(graph, seed=7)
+    result = run_point_to_point(graph, setup.tree, batch, seed=8)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.bfs import run_setup
+from repro.core.dfs import apply_preparation, prepared_tree_infos, run_dfs_preparation
+from repro.core.leader import elect_leader, run_bit_election
+from repro.core.tree import TreeInfo
+from repro.errors import ConfigurationError, SimulationTimeout
+from repro.graphs.bfs_tree import BFSTree
+from repro.graphs.graph import Graph, NodeId
+
+
+@dataclass
+class FullSetupResult:
+    """Everything the one-time phase produces."""
+
+    tree: BFSTree  # spanning BFS tree with DFS intervals installed
+    tree_infos: Dict[NodeId, TreeInfo]  # per-station local knowledge
+    root: NodeId
+    election_slots: int
+    bfs_slots: int
+    preparation_slots: int
+    bfs_attempts: int
+
+    @property
+    def total_slots(self) -> int:
+        return self.election_slots + self.bfs_slots + self.preparation_slots
+
+
+def run_full_setup(
+    graph: Graph,
+    seed: int,
+    election: str = "bit",
+    root: Optional[NodeId] = None,
+    max_attempts: int = 10,
+    require_true_bfs: bool = False,
+) -> FullSetupResult:
+    """Run election + BFS setup + DFS preparation over ``graph``.
+
+    Parameters
+    ----------
+    election:
+        ``"bit"`` (the bitwise tournament, default), ``"epidemic"`` (the
+        max-ID gossip), or ``"none"`` (use the given ``root`` without an
+        election — the experiments' bypass).
+    root:
+        Required iff ``election == "none"``.
+
+    A failed election (no unique agreed leader) or BFS attempt is retried
+    with fresh coins, Las-Vegas style, with all slots accounted.
+    """
+    from repro.graphs.properties import require_connected
+
+    require_connected(graph)
+    election_slots = 0
+    if election == "none":
+        if root is None:
+            raise ConfigurationError('election="none" requires a root')
+        leader = root
+    elif election == "bit":
+        for attempt in range(max_attempts):
+            result = run_bit_election(graph, seed=seed + 101 * attempt)
+            election_slots += result.slots
+            if result.unique and result.agreed:
+                leader = result.leaders[0]
+                break
+        else:
+            raise SimulationTimeout(
+                f"bit election failed {max_attempts} times"
+            )
+    elif election == "epidemic":
+        result = elect_leader(graph, seed=seed, max_attempts=max_attempts)
+        election_slots = result.slots
+        leader = result.leaders[0]
+    else:
+        raise ConfigurationError(
+            f'unknown election {election!r}; use "bit", "epidemic" or "none"'
+        )
+
+    setup = run_setup(
+        graph,
+        root=leader,
+        seed=seed + 1,
+        max_attempts=max_attempts,
+        require_true_bfs=require_true_bfs,
+    )
+    preparation = run_dfs_preparation(graph, setup.tree)
+    apply_preparation(setup.tree, preparation)
+    infos = prepared_tree_infos(graph, setup.tree, preparation)
+    return FullSetupResult(
+        tree=setup.tree,
+        tree_infos=infos,
+        root=leader,
+        election_slots=election_slots,
+        bfs_slots=setup.slots,
+        preparation_slots=preparation.slots,
+        bfs_attempts=setup.attempts,
+    )

@@ -1,0 +1,245 @@
+"""Reliable single-hop transport over the BFS tree: Decay + deterministic acks.
+
+This module implements the machinery shared by the collection protocol
+(§4) and both point-to-point subprotocols (§5): every station keeps "a
+buffer of unacknowledged messages"; in each phase it invokes Decay once to
+send the head of the buffer toward its next hop; data slots are followed by
+ack slots in which receivers acknowledge deterministically (§3); "every
+such message is resent until an acknowledgement is received", whereupon it
+moves to the receiver's buffer — so each message lives in exactly one
+buffer at any time.
+
+One :class:`TransportLane` manages one direction of traffic on one channel
+(the paper runs upward and downward traffic "on separate channels", §1.4).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Optional, Set, Tuple
+
+try:  # Protocol is typing-only; keep 3.9 compatibility simple.
+    from typing import Protocol as _Protocol
+except ImportError:  # pragma: no cover
+    _Protocol = object  # type: ignore[assignment,misc]
+
+from repro.core.decay import DecaySession
+
+
+class SessionLike(_Protocol):
+    """What a per-phase retransmission session must provide."""
+
+    def should_transmit(self) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def kill(self) -> None:  # pragma: no cover - protocol
+        ...
+from repro.core.messages import AckMessage, DataMessage
+from repro.core.slots import SlotStructure
+from repro.errors import ProtocolError
+from repro.graphs.graph import NodeId
+from repro.radio.transmission import Transmission
+
+
+class TransportLane:
+    """One station's send/receive state for one traffic direction.
+
+    Responsibilities per slot (driven by the owning process):
+
+    * On this station's data slots (its level class, §2.2): run the
+      per-phase Decay session for the buffer head.
+    * On the slot right after receiving a designated data message: send
+      the acknowledgement (§3).
+    * On receiving an acknowledgement for the in-flight head: remove it
+      from the buffer and fall silent for the rest of the phase.
+
+    ``strict`` mode turns impossible-in-the-model events (duplicate
+    designated receptions, unmatched designated acks) into
+    :class:`ProtocolError` — the property tests run strict; failure
+    injection experiments run non-strict and count anomalies instead.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        level: int,
+        slots: SlotStructure,
+        rng: random.Random,
+        channel: int,
+        strict: bool = True,
+        session_factory: Optional[Callable[[], "SessionLike"]] = None,
+    ):
+        self.node_id = node_id
+        self.level = level
+        self.slots = slots
+        self.channel = channel
+        self.strict = strict
+        self._rng = rng
+        # The per-phase retransmission policy: the paper's Decay by
+        # default; ablations (E12) plug in alternatives such as ALOHA.
+        self._session_factory = session_factory or (
+            lambda: DecaySession(self.slots.decay_budget, self._rng)
+        )
+        self.buffer: Deque[DataMessage] = deque()
+        # Phase from which each buffered message may be transmitted: §4.1
+        # has a node send, each phase, a message whose buffer residence
+        # predates the phase ("every node whose buffer is not empty [at
+        # the beginning of a phase] executes Decay"), so a message
+        # received mid-phase must wait for the next phase — this is what
+        # keeps the pipeline at one level per phase, the granularity all
+        # of §4.2's models assume.
+        self._earliest_phase: Deque[int] = deque()
+        self._session: Optional[SessionLike] = None
+        self._session_phase = -1
+        self._head: Optional[DataMessage] = None
+        self._pending_ack: Optional[Tuple[int, AckMessage]] = None
+        self._accepted_ids: Set[Tuple[NodeId, int]] = set()
+        # Counters for experiments.
+        self.data_transmissions = 0
+        self.ack_transmissions = 0
+        self.duplicates_seen = 0
+
+    # ------------------------------------------------------------------
+    # Sending side
+    # ------------------------------------------------------------------
+
+    def enqueue(
+        self, message: DataMessage, received_at_slot: Optional[int] = None
+    ) -> None:
+        """Add a hop-addressed message to this lane's buffer.
+
+        ``received_at_slot`` marks forwarded traffic: a message received
+        during phase p becomes transmittable at phase p+1 (see
+        ``_earliest_phase``).  Locally originated messages (no slot) are
+        eligible immediately.
+        """
+        if message.hop_sender != self.node_id:
+            raise ProtocolError(
+                f"station {self.node_id!r} enqueued a message whose "
+                f"hop_sender is {message.hop_sender!r}"
+            )
+        self.buffer.append(message)
+        if received_at_slot is None:
+            self._earliest_phase.append(0)
+        else:
+            self._earliest_phase.append(
+                self.slots.phase_of(received_at_slot) + 1
+            )
+
+    @property
+    def backlog(self) -> int:
+        return len(self.buffer)
+
+    def on_slot(self, slot: int) -> Optional[Transmission]:
+        """This lane's transmission (if any) for the given slot."""
+        # Ack duty takes precedence; it is scheduled on an ack slot, which
+        # is never simultaneously one of our data slots.
+        if self._pending_ack is not None:
+            due, ack = self._pending_ack
+            if due == slot:
+                self._pending_ack = None
+                self.ack_transmissions += 1
+                return Transmission(ack, self.channel)
+            if due < slot:
+                # The ack slot passed while this station was down (failure
+                # injection): the ack is lost, like any other transmission
+                # of a crashed station.
+                self._pending_ack = None
+        if not self.buffer:
+            return None
+        if not self.slots.is_data_slot_for(slot, self.level):
+            return None
+        info = self.slots.decode(slot)
+        if info.phase != self._session_phase:
+            # A new phase begins: nodes whose buffer is non-empty at the
+            # beginning of the phase invoke Decay for the buffer head (§4.1).
+            self._session_phase = info.phase
+            if self._earliest_phase[0] <= info.phase:
+                self._session = self._session_factory()
+                self._head = self.buffer[0]
+            else:
+                # Head arrived mid-phase: sit this phase out.
+                self._session = None
+                self._head = None
+        if self._session is not None and self._session.should_transmit():
+            self.data_transmissions += 1
+            assert self._head is not None
+            return Transmission(self._head, self.channel)
+        return None
+
+    # ------------------------------------------------------------------
+    # Receiving side
+    # ------------------------------------------------------------------
+
+    def accept_data(self, slot: int, message: DataMessage) -> bool:
+        """Handle a received data message designated to this station.
+
+        Schedules the deterministic acknowledgement for the next slot and
+        reports whether the message is new (True) or a duplicate (False —
+        impossible in the failure-free model; see ``strict``).  The caller
+        routes new messages onward (enqueue on some lane, or deliver).
+        """
+        if message.hop_dest != self.node_id:
+            raise ProtocolError(
+                f"station {self.node_id!r} asked to accept a message "
+                f"designated to {message.hop_dest!r}"
+            )
+        ack = AckMessage(
+            msg_id=message.msg_id,
+            hop_sender=self.node_id,
+            hop_dest=message.hop_sender,
+        )
+        if self._pending_ack is not None:
+            if self._pending_ack[0] <= slot:
+                self._pending_ack = None  # expired while crashed
+            else:
+                raise ProtocolError(
+                    f"station {self.node_id!r} has two pending acks; data "
+                    f"arrived on an ack slot?"
+                )
+        self._pending_ack = (self.slots.ack_slot_after(slot), ack)
+        if message.msg_id in self._accepted_ids:
+            self.duplicates_seen += 1
+            if self.strict:
+                raise ProtocolError(
+                    f"station {self.node_id!r} received duplicate message "
+                    f"{message.msg_id!r}: acknowledgement determinism "
+                    f"(Thm 3.1) was violated"
+                )
+            return False
+        self._accepted_ids.add(message.msg_id)
+        return True
+
+    def accept_ack(self, ack: AckMessage) -> None:
+        """Handle an acknowledgement designated to this station."""
+        if ack.hop_dest != self.node_id:
+            raise ProtocolError(
+                f"station {self.node_id!r} asked to accept an ack "
+                f"designated to {ack.hop_dest!r}"
+            )
+        if self.buffer and self.buffer[0].msg_id == ack.msg_id:
+            self.buffer.popleft()
+            self._earliest_phase.popleft()
+            if self._head is not None and self._head.msg_id == ack.msg_id:
+                self._head = None
+                if self._session is not None:
+                    self._session.kill()
+            return
+        # An ack for something not at our head: cannot happen in the model
+        # (we only ever have one in-flight message, and it is resent until
+        # acked); tolerated when failures are being injected.
+        if self.strict:
+            raise ProtocolError(
+                f"station {self.node_id!r} got ack for {ack.msg_id!r} "
+                f"which is not its in-flight head"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """No buffered traffic and no ack duty outstanding."""
+        return not self.buffer and self._pending_ack is None

@@ -1,0 +1,140 @@
+"""Per-station tree knowledge produced by the setup phase.
+
+After setup (leader election + BFS + DFS preparation), every station knows
+exactly the paper's §2/§5.1 state: its BFS parent, its level, which
+neighbors are its BFS children, its own DFS number, and for each child the
+child's DFS interval.  :class:`TreeInfo` packages that *local* knowledge;
+the steady-state protocols are written against it so they can run either
+on the output of the distributed setup or on a centrally computed tree
+(the experiments' ``known_root`` bypass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.graphs.bfs_tree import BFSTree
+from repro.graphs.graph import NodeId
+
+
+@dataclass
+class TreeInfo:
+    """What one station knows about its place in the BFS tree.
+
+    ``dfs_number``/``subtree_max``/``child_intervals`` are ``None`` until
+    the DFS preparation (§5.1) has run; collection and distribution do not
+    need them, point-to-point does.
+    """
+
+    node_id: NodeId
+    root: NodeId
+    parent: NodeId
+    level: int
+    children: Tuple[NodeId, ...]
+    dfs_number: Optional[int] = None
+    subtree_max: Optional[int] = None
+    child_intervals: Dict[NodeId, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def is_root(self) -> bool:
+        return self.node_id == self.root
+
+    @property
+    def has_addressing(self) -> bool:
+        return self.dfs_number is not None and self.subtree_max is not None
+
+    def owns_address(self, address: int) -> bool:
+        """Whether ``address`` is in this station's descendant interval."""
+        if not self.has_addressing:
+            raise ProtocolError(
+                f"station {self.node_id!r} has no DFS addressing yet"
+            )
+        assert self.dfs_number is not None and self.subtree_max is not None
+        return self.dfs_number <= address <= self.subtree_max
+
+    def child_for_address(self, address: int) -> NodeId:
+        """The unique BFS child whose interval contains ``address``.
+
+        §5.1: "it suffices that each node remember the DFS number of each
+        of its children and the maximum DFS number of all the descendants"
+        — child intervals are consecutive, so exactly one child matches any
+        strictly-descendant address.
+        """
+        for child, (low, high) in self.child_intervals.items():
+            if low <= address <= high:
+                return child
+        raise ProtocolError(
+            f"station {self.node_id!r}: no child interval contains "
+            f"address {address}"
+        )
+
+    def next_hop_for_address(self, address: int) -> NodeId:
+        """§5 routing rule: down into the owning child, else up."""
+        if self.owns_address(address):
+            assert self.dfs_number is not None
+            if address == self.dfs_number:
+                return self.node_id
+            return self.child_for_address(address)
+        if self.is_root:
+            raise ProtocolError(
+                f"root does not own address {address}; tree is inconsistent"
+            )
+        return self.parent
+
+
+def tree_info_from_bfs_tree(tree: BFSTree) -> Dict[NodeId, TreeInfo]:
+    """Distribute a (centrally known) BFS tree into per-station TreeInfo.
+
+    This is the experiments' setup bypass: it hands every station exactly
+    the local state the distributed setup phase would have produced,
+    including DFS addressing if the tree has it.
+    """
+    infos: Dict[NodeId, TreeInfo] = {}
+    for node in tree.nodes:
+        info = TreeInfo(
+            node_id=node,
+            root=tree.root,
+            parent=tree.parent[node],
+            level=tree.level[node],
+            children=tree.children[node],
+        )
+        if tree.has_dfs_intervals:
+            info.dfs_number = tree.dfs_number[node]
+            info.subtree_max = tree.subtree_max[node]
+            info.child_intervals = {
+                child: (tree.dfs_number[child], tree.subtree_max[child])
+                for child in tree.children[node]
+            }
+        infos[node] = info
+    return infos
+
+
+def bfs_tree_from_tree_info(infos: Dict[NodeId, TreeInfo]) -> BFSTree:
+    """Reassemble a :class:`BFSTree` from per-station knowledge.
+
+    Used to validate the *distributed* setup phase: collect what every
+    station believes and check global consistency via BFSTree.validate().
+    """
+    if not infos:
+        raise ProtocolError("no stations")
+    roots = {info.root for info in infos.values()}
+    if len(roots) != 1:
+        raise ProtocolError(f"stations disagree on the root: {sorted(map(repr, roots))}")
+    root = roots.pop()
+    tree = BFSTree(
+        root=root,
+        parent={node: info.parent for node, info in infos.items()},
+        level={node: info.level for node, info in infos.items()},
+    )
+    if all(info.dfs_number is not None for info in infos.values()):
+        tree.dfs_number = {
+            node: info.dfs_number  # type: ignore[misc]
+            for node, info in infos.items()
+        }
+        tree.subtree_max = {
+            node: info.subtree_max  # type: ignore[misc]
+            for node, info in infos.items()
+        }
+    return tree

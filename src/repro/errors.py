@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class TopologyError(ReproError):
+    """A graph/topology violates an assumption (e.g. not connected)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol reached a state that the paper's model rules out.
+
+    Raising (rather than silently continuing) turns model violations into
+    test failures: for instance, a node transmitting twice on the same
+    channel in one slot, or an acknowledgement arriving for a message that
+    was never sent.
+    """
+
+
+class SimulationTimeout(ReproError):
+    """A simulation did not reach its goal within the allotted slots.
+
+    The paper's protocols are Las-Vegas: always correct, with random running
+    time.  A timeout therefore signals either an unlucky run with too small
+    a slot budget or a genuine bug; the message includes enough context to
+    tell which.
+    """
+
+    def __init__(self, message: str, slots_elapsed: int | None = None):
+        super().__init__(message)
+        self.slots_elapsed = slots_elapsed

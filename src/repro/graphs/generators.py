@@ -1,0 +1,309 @@
+"""Topology generators for experiments.
+
+Each generator returns a connected :class:`~repro.graphs.graph.Graph` with
+integer node IDs ``0..n-1``.  The families below are chosen to sweep the two
+parameters the paper's bounds depend on — the diameter ``D`` and the maximum
+degree ``Δ`` — independently:
+
+* ``path``/``cycle``: D = Θ(n), Δ ≤ 2 (deep, thin; worst case for D terms).
+* ``star``: D = 2, Δ = n-1 (shallow, fat; worst case for log Δ terms).
+* ``grid``: D = Θ(√n), Δ ≤ 4.
+* ``random_tree`` / ``balanced_tree``: tunable depth/branching.
+* ``caterpillar``: a path with leaf tufts — deep *and* locally fat.
+* ``random_geometric`` (unit-disk): the classical radio-network model.
+* ``gnp_connected``: Erdős–Rényi, conditioned on connectivity.
+
+Randomized generators take a ``random.Random`` so experiments stay
+reproducible (see :mod:`repro.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import Graph
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"need at least one node, got n={n}")
+
+
+def path(n: int) -> Graph:
+    """A simple path 0-1-…-(n-1); diameter n-1, Δ ≤ 2."""
+    _require_positive(n)
+    return Graph.from_edges(((i, i + 1) for i in range(n - 1)), nodes=range(n))
+
+
+def cycle(n: int) -> Graph:
+    """A cycle on n ≥ 3 nodes; diameter ⌊n/2⌋, Δ = 2."""
+    if n < 3:
+        raise ConfigurationError(f"a cycle needs n >= 3, got n={n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(edges)
+
+
+def star(n: int) -> Graph:
+    """A star with center 0 and n-1 leaves; diameter ≤ 2, Δ = n-1."""
+    _require_positive(n)
+    return Graph.from_edges(((0, i) for i in range(1, n)), nodes=range(n))
+
+
+def complete(n: int) -> Graph:
+    """The complete graph (a single-hop radio network); D = 1, Δ = n-1."""
+    _require_positive(n)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Graph.from_edges(edges, nodes=range(n))
+
+
+def grid(rows: int, cols: int) -> Graph:
+    """A ``rows × cols`` 4-connected grid; node ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid needs rows >= 1 and cols >= 1")
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return Graph.from_edges(edges, nodes=range(rows * cols))
+
+
+def balanced_tree(branching: int, depth: int) -> Graph:
+    """A complete ``branching``-ary tree of the given depth.
+
+    Depth 0 is a single root.  Node 0 is the root; children of node v are
+    assigned breadth-first.
+    """
+    if branching < 1:
+        raise ConfigurationError("branching factor must be >= 1")
+    if depth < 0:
+        raise ConfigurationError("depth must be >= 0")
+    edges: List[Tuple[int, int]] = []
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        new_frontier: List[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_id))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return Graph.from_edges(edges, nodes=range(next_id))
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """A path of ``spine`` nodes, each carrying ``legs`` extra leaves.
+
+    Diameter is Θ(spine) while Δ = legs + 2, so it sweeps D and Δ together.
+    """
+    if spine < 1:
+        raise ConfigurationError("spine must have >= 1 node")
+    if legs < 0:
+        raise ConfigurationError("legs must be >= 0")
+    edges: List[Tuple[int, int]] = [(i, i + 1) for i in range(spine - 1)]
+    next_id = spine
+    for body in range(spine):
+        for _ in range(legs):
+            edges.append((body, next_id))
+            next_id += 1
+    return Graph.from_edges(edges, nodes=range(next_id))
+
+
+def random_tree(n: int, rng: random.Random) -> Graph:
+    """A uniformly random labelled tree via a random Prüfer sequence."""
+    _require_positive(n)
+    if n == 1:
+        return Graph({0: []})
+    if n == 2:
+        return Graph.from_edges([(0, 1)])
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for node in prufer:
+        degree[node] += 1
+    edges: List[Tuple[int, int]] = []
+    leaves = sorted(node for node in range(n) if degree[node] == 1)
+    import heapq
+
+    heapq.heapify(leaves)
+    for node in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, node))
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return Graph.from_edges(edges, nodes=range(n))
+
+
+def random_geometric(
+    n: int,
+    radius: float,
+    rng: random.Random,
+    max_attempts: int = 200,
+) -> Graph:
+    """A connected unit-disk graph: n points in [0,1]², edge iff dist ≤ radius.
+
+    This is the canonical model of a multi-hop radio network (stations with
+    identical transmission range on a plane).  Placement is resampled until
+    the graph is connected; raises :class:`ConfigurationError` if the radius
+    is too small to connect within ``max_attempts`` resamples.
+    """
+    _require_positive(n)
+    from repro.graphs.properties import is_connected
+
+    for _ in range(max_attempts):
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        edges = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if math.dist(points[i], points[j]) <= radius
+        ]
+        graph = Graph.from_edges(edges, nodes=range(n))
+        if is_connected(graph):
+            return graph
+    raise ConfigurationError(
+        f"could not sample a connected unit-disk graph with n={n}, "
+        f"radius={radius} in {max_attempts} attempts"
+    )
+
+
+def gnp_connected(
+    n: int,
+    p: float,
+    rng: random.Random,
+    max_attempts: int = 200,
+) -> Graph:
+    """A connected Erdős–Rényi G(n, p) graph (resampled until connected)."""
+    _require_positive(n)
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"edge probability must be in [0,1], got {p}")
+    from repro.graphs.properties import is_connected
+
+    for _ in range(max_attempts):
+        edges = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < p
+        ]
+        graph = Graph.from_edges(edges, nodes=range(n))
+        if is_connected(graph):
+            return graph
+    raise ConfigurationError(
+        f"could not sample a connected G({n}, {p}) in {max_attempts} attempts"
+    )
+
+
+def lollipop(clique_size: int, tail: int) -> Graph:
+    """A clique with a path attached: simultaneously large Δ and large D."""
+    if clique_size < 1 or tail < 0:
+        raise ConfigurationError("need clique_size >= 1 and tail >= 0")
+    edges = [
+        (i, j) for i in range(clique_size) for j in range(i + 1, clique_size)
+    ]
+    previous = 0
+    next_id = clique_size
+    for _ in range(tail):
+        edges.append((previous, next_id))
+        previous = next_id
+        next_id += 1
+    return Graph.from_edges(edges, nodes=range(next_id))
+
+
+def layered_band(layers: int, width: int) -> Graph:
+    """``layers`` levels of ``width`` nodes; consecutive levels fully joined.
+
+    This is the worst-case shape for Theorem 4.1: every node of level i+1 is
+    within range of *all* nodes of level i, so intra-layer contention is
+    maximal while the BFS structure stays trivial (D = layers - 1,
+    Δ = 2·width — or width+(width-1) at the ends).
+    """
+    if layers < 1 or width < 1:
+        raise ConfigurationError("need layers >= 1 and width >= 1")
+    edges: List[Tuple[int, int]] = []
+    for layer in range(layers):
+        base = layer * width
+        for a in range(width):
+            for b in range(a + 1, width):
+                edges.append((base + a, base + b))
+        if layer + 1 < layers:
+            for a in range(width):
+                for b in range(width):
+                    edges.append((base + a, base + width + b))
+    return Graph.from_edges(edges, nodes=range(layers * width))
+
+
+def hypercube(dimension: int) -> Graph:
+    """The d-dimensional hypercube: n = 2^d, D = d, Δ = d.
+
+    D and Δ grow *together* (both log n) — the regime where the paper's
+    log Δ factors and the diameter term are balanced.
+    """
+    if dimension < 0:
+        raise ConfigurationError(f"dimension must be >= 0, got {dimension}")
+    n = 1 << dimension
+    edges = [
+        (v, v ^ (1 << bit))
+        for v in range(n)
+        for bit in range(dimension)
+        if v < (v ^ (1 << bit))
+    ]
+    return Graph.from_edges(edges, nodes=range(n))
+
+
+def torus(rows: int, cols: int) -> Graph:
+    """A ``rows × cols`` torus (grid with wraparound); Δ ≤ 4, D = ⌊r/2⌋+⌊c/2⌋.
+
+    Rows/cols of 1 or 2 would create self-loops or parallel edges, so
+    both must be ≥ 3.
+    """
+    if rows < 3 or cols < 3:
+        raise ConfigurationError("torus needs rows >= 3 and cols >= 3")
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            edges.append((node, r * cols + (c + 1) % cols))
+            edges.append((node, ((r + 1) % rows) * cols + c))
+    return Graph.from_edges(edges, nodes=range(rows * cols))
+
+
+FAMILIES = {
+    "path": path,
+    "cycle": cycle,
+    "star": star,
+    "torus": torus,
+    "complete": complete,
+    "grid": grid,
+    "hypercube": hypercube,
+    "balanced_tree": balanced_tree,
+    "caterpillar": caterpillar,
+    "random_tree": random_tree,
+    "random_geometric": random_geometric,
+    "gnp_connected": gnp_connected,
+    "lollipop": lollipop,
+    "layered_band": layered_band,
+}
+"""Registry of generator callables, keyed by family name (for sweeps)."""
+
+
+def positions_for_drawing(graph: Graph) -> Dict[int, Tuple[float, float]]:
+    """Crude deterministic layout (circle) for ASCII/debug rendering."""
+    n = graph.num_nodes
+    return {
+        node: (
+            0.5 + 0.45 * math.cos(2 * math.pi * index / max(n, 1)),
+            0.5 + 0.45 * math.sin(2 * math.pi * index / max(n, 1)),
+        )
+        for index, node in enumerate(graph.nodes)
+    }

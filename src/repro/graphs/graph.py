@@ -1,0 +1,166 @@
+"""A minimal undirected-graph type for radio topologies.
+
+The simulator only ever needs neighbor queries, so :class:`Graph` stores a
+plain adjacency map.  It is deliberately independent of :mod:`networkx`
+(which is used only by some generators and tests as a cross-check) so the
+hot simulation loop stays allocation-free and easy to reason about.
+
+Nodes are arbitrary hashable IDs; the paper assumes distinct IDs with a
+total order (stations compare IDs during leader election and DFS), so all
+generators in :mod:`repro.graphs.generators` use integers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.errors import TopologyError
+
+NodeId = Hashable
+
+
+class Graph:
+    """An undirected simple graph backed by an adjacency map.
+
+    The constructor copies and normalizes its input: neighbor lists are
+    deduplicated, sorted (for deterministic iteration), and checked for
+    symmetry and self-loops.  After construction the graph is treated as
+    immutable; mutation goes through :meth:`with_edge` / :meth:`without_node`
+    which return new graphs.
+    """
+
+    __slots__ = ("_adj", "_nodes", "_num_edges")
+
+    def __init__(self, adjacency: Dict[NodeId, Iterable[NodeId]]):
+        adj: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        for node, neighbors in adjacency.items():
+            unique = sorted(set(neighbors))
+            if node in unique:
+                raise TopologyError(f"self-loop at node {node!r}")
+            adj[node] = tuple(unique)
+        for node, neighbors in adj.items():
+            for other in neighbors:
+                if other not in adj:
+                    raise TopologyError(
+                        f"edge ({node!r}, {other!r}) references unknown node"
+                    )
+                if node not in adj[other]:
+                    raise TopologyError(
+                        f"asymmetric adjacency: {node!r}->{other!r} present, "
+                        f"reverse missing"
+                    )
+        self._adj = adj
+        self._nodes = tuple(sorted(adj))
+        self._num_edges = sum(len(v) for v in adj.values()) // 2
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[NodeId, NodeId]], nodes: Iterable[NodeId] = ()
+    ) -> "Graph":
+        """Build a graph from an edge list (plus optional isolated nodes)."""
+        adj: Dict[NodeId, List[NodeId]] = {node: [] for node in nodes}
+        for u, v in edges:
+            adj.setdefault(u, []).append(v)
+            adj.setdefault(v, []).append(u)
+        return cls(adj)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """All node IDs, sorted."""
+        return self._nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Neighbors of ``node``, sorted."""
+        return self._adj[node]
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adj[node])
+
+    def max_degree(self) -> int:
+        """Δ, the maximum degree (0 for an empty or single-node graph)."""
+        if not self._adj:
+            return 0
+        return max(len(v) for v in self._adj.values())
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return v in self._adj.get(u, ())
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        """Each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in self._nodes:
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash(tuple((n, self._adj[n]) for n in self._nodes))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_nodes}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def with_edge(self, u: NodeId, v: NodeId) -> "Graph":
+        """A new graph with edge ``(u, v)`` added (nodes created if new)."""
+        adj = {node: list(neigh) for node, neigh in self._adj.items()}
+        adj.setdefault(u, [])
+        adj.setdefault(v, [])
+        if v not in adj[u]:
+            adj[u].append(v)
+            adj[v].append(u)
+        return Graph(adj)
+
+    def without_node(self, node: NodeId) -> "Graph":
+        """A new graph with ``node`` and its incident edges removed."""
+        if node not in self._adj:
+            raise TopologyError(f"unknown node {node!r}")
+        adj = {
+            n: [w for w in neigh if w != node]
+            for n, neigh in self._adj.items()
+            if n != node
+        }
+        return Graph(adj)
+
+    def subgraph(self, keep: Iterable[NodeId]) -> "Graph":
+        """The induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        unknown = keep_set - set(self._adj)
+        if unknown:
+            raise TopologyError(f"unknown nodes {sorted(unknown)!r}")
+        adj = {
+            n: [w for w in self._adj[n] if w in keep_set]
+            for n in keep_set
+        }
+        return Graph(adj)

@@ -1,0 +1,129 @@
+"""Closed-form queueing results used by §4.3 (Geo/Geo/1 and tandems).
+
+A *Bernoulli server* (discrete-time Geo/Geo/1, late-arrival convention:
+service acts on the pre-arrival queue, arrivals join afterwards — exactly
+the radio chain, where a message entering a level in phase t can first
+leave it in phase t+1) with arrival rate λ < service rate µ has, following
+Burke (1956) and Hsu–Burke (1976) as cited by the paper:
+
+* stationary queue-length distribution::
+
+      p_0 = 1 − λ/µ
+      p_1 = λ·p_0 / ((1 − λ)·µ)
+      p_j = p_1 · r^(j−1),   r = λ(1−µ) / (µ(1−λ))
+
+* expected queue length ``N̄ = Σ j·p_j = λ(1−λ)/(µ−λ)``;
+* by Little's result, expected time in the queue ``E(T) = N̄/λ =
+  (1−λ)/(µ−λ)``;
+* the departure process converges to a Bernoulli process with parameter λ
+  (Hsu–Burke) — hence in a *tandem* of D such servers every server sees a
+  Bernoulli(λ) input and Theorem 4.3 follows:
+  ``E[completion of k messages] = k/λ + D·(1−λ)/(µ−λ)`` phases.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+def _check_rates(lam: float, mu: float) -> None:
+    if not 0.0 < mu <= 1.0:
+        raise ConfigurationError(f"service rate must be in (0,1], got {mu}")
+    if not 0.0 < lam < 1.0:
+        raise ConfigurationError(f"arrival rate must be in (0,1), got {lam}")
+    if lam >= mu:
+        raise ConfigurationError(
+            f"stability requires λ < µ, got λ={lam} >= µ={mu}"
+        )
+
+
+def geometric_ratio(lam: float, mu: float) -> float:
+    """The tail ratio r = λ(1−µ)/(µ(1−λ)) of the stationary distribution."""
+    _check_rates(lam, mu)
+    return lam * (1.0 - mu) / (mu * (1.0 - lam))
+
+
+def stationary_probability(j: int, lam: float, mu: float) -> float:
+    """``p_j``: stationary probability of queue length j."""
+    _check_rates(lam, mu)
+    if j < 0:
+        raise ConfigurationError(f"queue length must be >= 0, got {j}")
+    if j == 0:
+        return 1.0 - lam / mu
+    p1 = lam * (1.0 - lam / mu) / ((1.0 - lam) * mu)
+    return p1 * geometric_ratio(lam, mu) ** (j - 1)
+
+
+def stationary_distribution(lam: float, mu: float, j_max: int) -> List[float]:
+    """``[p_0, …, p_{j_max}]`` (truncated; sums to < 1 by the tail mass)."""
+    return [stationary_probability(j, lam, mu) for j in range(j_max + 1)]
+
+
+def expected_queue_length(lam: float, mu: float) -> float:
+    """``N̄ = λ(1−λ)/(µ−λ)`` (the paper's Σ j·p_j)."""
+    _check_rates(lam, mu)
+    return lam * (1.0 - lam) / (mu - lam)
+
+
+def expected_sojourn_time(lam: float, mu: float) -> float:
+    """Little's result: ``E(T) = N̄/λ = (1−λ)/(µ−λ)`` phases per server."""
+    _check_rates(lam, mu)
+    return (1.0 - lam) / (mu - lam)
+
+
+def tandem_completion_time(k: int, depth: int, lam: float, mu: float) -> float:
+    """Theorem 4.3: expected phases for k messages through D servers.
+
+    ``E(Q_k) = k/λ + D·(1−λ)/(µ−λ)`` — k interarrival gaps plus the last
+    message's sojourn through the whole steady-state tandem.
+    """
+    _check_rates(lam, mu)
+    if k < 0 or depth < 0:
+        raise ConfigurationError("k and depth must be >= 0")
+    return k / lam + depth * expected_sojourn_time(lam, mu)
+
+
+def optimal_lambda(mu: float) -> float:
+    """The λ* balancing Theorem 4.3's two terms: ``λ* = 1 − √(1 − µ)``.
+
+    At λ*, ``1/λ = (1−λ)/(µ−λ)`` so the bound becomes ``(k + D)/λ*``
+    phases; with the paper's µ = e⁻¹(1−e⁻¹) this yields the Theorem 4.4
+    constant 4/λ* ≈ 32.27 slots per (k + D)·log Δ.
+    """
+    if not 0.0 < mu <= 1.0:
+        raise ConfigurationError(f"µ must be in (0,1], got {mu}")
+    return 1.0 - math.sqrt(1.0 - mu)
+
+
+def sample_stationary_queue_length(
+    lam: float, mu: float, rng: random.Random
+) -> int:
+    """Draw a queue length from the stationary distribution.
+
+    Used to initialize model 4 in steady state (§4.2: "we assume that it
+    is already in steady state in the sense of Queueing Theory").
+    """
+    _check_rates(lam, mu)
+    u = rng.random()
+    cumulative = stationary_probability(0, lam, mu)
+    if u < cumulative:
+        return 0
+    j = 1
+    p = stationary_probability(1, lam, mu)
+    r = geometric_ratio(lam, mu)
+    while True:
+        cumulative += p
+        if u < cumulative or p < 1e-15:
+            return j
+        p *= r
+        j += 1
+
+
+def utilization(lam: float, mu: float) -> float:
+    """Server busy fraction, λ/µ (= 1 − p_0)."""
+    _check_rates(lam, mu)
+    return lam / mu

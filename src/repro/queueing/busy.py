@@ -1,0 +1,109 @@
+"""Busy-period structure of the Bernoulli server.
+
+A complement to the stationary-law results of §4.3: the server's time
+axis decomposes into i.i.d. *idle periods* (waiting for an arrival:
+Geometric(λ), mean 1/λ) and *busy periods* (from an arrival into an
+empty queue until the queue next empties).
+
+For the late-arrival Geo/Geo/1 queue the busy period is the hitting time
+of a skip-free-downward random walk with per-step increments
+−1 w.p. µ(1−λ), +1 w.p. λ(1−µ), 0 otherwise; hence
+
+    E[B] = 1 / (µ − λ)
+
+and the busy fraction E[B] / (E[B] + E[I]) = λ/µ = ρ recovers the
+utilization — a consistency check tying the cycle view to `p_0 = 1−ρ`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.queueing.analysis import _check_rates
+from repro.queueing.bernoulli import BernoulliServer
+
+
+def mean_busy_period(lam: float, mu: float) -> float:
+    """``E[B] = 1/(µ−λ)`` steps."""
+    _check_rates(lam, mu)
+    return 1.0 / (mu - lam)
+
+
+def mean_idle_period(lam: float) -> float:
+    """``E[I] = 1/λ`` steps (waiting for a Bernoulli(λ) arrival)."""
+    if not 0.0 < lam < 1.0:
+        raise ConfigurationError(f"λ must be in (0,1), got {lam}")
+    return 1.0 / lam
+
+
+def busy_fraction(lam: float, mu: float) -> float:
+    """``E[B]/(E[B]+E[I]) = λ/µ`` — the utilization, from the cycle view."""
+    _check_rates(lam, mu)
+    b = mean_busy_period(lam, mu)
+    i = mean_idle_period(lam)
+    return b / (b + i)
+
+
+@dataclass
+class BusyPeriodObservation:
+    """Measured busy/idle cycles from one long run."""
+
+    busy_lengths: List[int] = field(default_factory=list)
+    idle_lengths: List[int] = field(default_factory=list)
+
+    @property
+    def mean_busy(self) -> float:
+        if not self.busy_lengths:
+            return float("nan")
+        return sum(self.busy_lengths) / len(self.busy_lengths)
+
+    @property
+    def mean_idle(self) -> float:
+        if not self.idle_lengths:
+            return float("nan")
+        return sum(self.idle_lengths) / len(self.idle_lengths)
+
+    @property
+    def busy_fraction(self) -> float:
+        busy = sum(self.busy_lengths)
+        idle = sum(self.idle_lengths)
+        if busy + idle == 0:
+            return 0.0
+        return busy / (busy + idle)
+
+
+def observe_busy_periods(
+    lam: float,
+    mu: float,
+    steps: int,
+    rng: random.Random,
+) -> BusyPeriodObservation:
+    """Run one server and segment its timeline into busy/idle periods.
+
+    A step is *busy* if the pre-arrival queue is non-empty.  Only
+    complete periods are recorded (the trailing partial one is dropped).
+    """
+    _check_rates(lam, mu)
+    if steps < 1:
+        raise ConfigurationError("need at least one step")
+    server = BernoulliServer(mu, rng)
+    observation = BusyPeriodObservation()
+    current_length = 0
+    currently_busy = False
+    for _ in range(steps):
+        busy_now = server.queue > 0
+        if busy_now == currently_busy:
+            current_length += 1
+        else:
+            if current_length > 0:
+                if currently_busy:
+                    observation.busy_lengths.append(current_length)
+                else:
+                    observation.idle_lengths.append(current_length)
+            currently_busy = busy_now
+            current_length = 1
+        server.step(arrival=rng.random() < lam)
+    return observation

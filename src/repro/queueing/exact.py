@@ -1,0 +1,173 @@
+"""Exact expected completion times for the §4.2 tandem models.
+
+The move dynamics of models 2/3 form a finite absorbing Markov chain over
+partitions (level loads + reservoir): each non-empty level independently
+advances one message with probability µ per step, and the reservoir
+releases one with probability λ.  For the small (k, D) used in tests and
+benchmarks the chain is tiny, so the expected absorption time solves
+exactly from the fundamental-matrix equation
+
+    (I − Q)·h = 1
+
+where Q is the transient-to-transient transition matrix.  This gives a
+third, simulation-free leg for experiment E4: Monte-Carlo tandems and the
+radio protocol are both checked against linear algebra.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.queueing.moves import is_empty, move
+
+State = Tuple[int, ...]
+
+#: Safety cap on the enumerated state space.
+MAX_STATES = 200_000
+
+
+def reachable_states(initial: Sequence[int]) -> List[State]:
+    """All states reachable from ``initial`` under single-step moves.
+
+    Moves only shift mass toward the root, so reachability is finite;
+    states are enumerated breadth-first over all subsets of firing
+    positions.
+    """
+    start = tuple(int(x) for x in initial)
+    if any(x < 0 for x in start):
+        raise ConfigurationError("loads must be non-negative")
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        for successor, _prob in _successors(state, mu=0.5, lam=0.5):
+            if successor not in seen:
+                if len(seen) >= MAX_STATES:
+                    raise ConfigurationError(
+                        f"state space exceeds {MAX_STATES}; "
+                        f"use the simulators for this size"
+                    )
+                seen.add(successor)
+                frontier.append(successor)
+    return sorted(seen)
+
+
+def _successors(
+    state: State, mu: float, lam: float
+) -> List[Tuple[State, float]]:
+    """Successor states with probabilities (aggregated)."""
+    dimension = len(state)
+    active = [i for i in range(dimension) if state[i] > 0]
+    out: Dict[State, float] = {}
+    # Each active position fires independently: enumerate firing subsets.
+    for size in range(len(active) + 1):
+        for subset in combinations(active, size):
+            probability = 1.0
+            for position in active:
+                rate = lam if position == dimension - 1 else mu
+                probability *= rate if position in subset else (1.0 - rate)
+            if probability == 0.0:
+                continue
+            vector = tuple(
+                1 if i in subset else 0 for i in range(dimension)
+            )
+            successor = move(state, vector)
+            out[successor] = out.get(successor, 0.0) + probability
+    return list(out.items())
+
+
+def expected_completion_exact(
+    initial: Sequence[int], mu: float, lam: float = 0.0
+) -> float:
+    """Exact E[T] for the tandem started at ``initial``.
+
+    ``initial`` is ``(a_1, …, a_D, reservoir)``; position D+1 drains at
+    rate λ (0 for model 2), the others at rate µ.  Absorption = empty.
+    """
+    if not 0.0 < mu <= 1.0:
+        raise ConfigurationError(f"µ must be in (0,1], got {mu}")
+    if not 0.0 <= lam <= 1.0:
+        raise ConfigurationError(f"λ must be in [0,1], got {lam}")
+    start = tuple(int(x) for x in initial)
+    if is_empty(start):
+        return 0.0
+    if start[-1] > 0 and lam == 0.0:
+        raise ConfigurationError(
+            "reservoir is loaded but λ = 0: completion time is infinite"
+        )
+    states = reachable_states(start)
+    transient = [s for s in states if not is_empty(s)]
+    index = {state: i for i, state in enumerate(transient)}
+    size = len(transient)
+    q = np.zeros((size, size))
+    for state in transient:
+        i = index[state]
+        for successor, probability in _successors(state, mu, lam):
+            if not is_empty(successor):
+                q[i, index[successor]] += probability
+    h = np.linalg.solve(np.eye(size) - q, np.ones(size))
+    return float(h[index[start]])
+
+
+def completion_time_distribution(
+    initial: Sequence[int],
+    mu: float,
+    lam: float,
+    t_max: int,
+) -> List[float]:
+    """``[P(T = 0), …, P(T = t_max)]`` for the tandem's completion time.
+
+    Computed by evolving the transient distribution: the mass absorbed at
+    step t is exactly P(T = t).  The returned list sums to
+    ``P(T ≤ t_max)`` (< 1 if the horizon truncates the tail).
+    """
+    if t_max < 0:
+        raise ConfigurationError(f"t_max must be >= 0, got {t_max}")
+    start = tuple(int(x) for x in initial)
+    if is_empty(start):
+        return [1.0] + [0.0] * t_max
+    if start[-1] > 0 and lam == 0.0:
+        raise ConfigurationError(
+            "reservoir is loaded but λ = 0: completion never happens"
+        )
+    distribution: Dict[State, float] = {start: 1.0}
+    pmf = [0.0]
+    for _t in range(1, t_max + 1):
+        next_distribution: Dict[State, float] = {}
+        absorbed = 0.0
+        for state, probability in distribution.items():
+            for successor, transition in _successors(state, mu, lam):
+                mass = probability * transition
+                if is_empty(successor):
+                    absorbed += mass
+                else:
+                    next_distribution[successor] = (
+                        next_distribution.get(successor, 0.0) + mass
+                    )
+        pmf.append(absorbed)
+        distribution = next_distribution
+        if len(distribution) > MAX_STATES:
+            raise ConfigurationError(
+                f"state space exceeds {MAX_STATES}"
+            )
+    return pmf
+
+
+def expected_completion_model2_exact(
+    levels: Sequence[int], mu: float
+) -> float:
+    """Exact E[T] for model 2 (pre-placed messages, no arrivals)."""
+    return expected_completion_exact(tuple(levels) + (0,), mu, lam=0.0)
+
+
+def expected_completion_model3_exact(
+    k: int, depth: int, mu: float, lam: float
+) -> float:
+    """Exact E[T] for model 3 (empty start, k Bernoulli arrivals)."""
+    if k < 0 or depth < 1:
+        raise ConfigurationError("need k >= 0 and depth >= 1")
+    return expected_completion_exact((0,) * depth + (k,), mu, lam)

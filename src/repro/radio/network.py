@@ -1,0 +1,299 @@
+"""The slot-synchronous radio-network simulation engine.
+
+Implements the model of §1.1 exactly:
+
+* time advances in synchronous slots;
+* in each slot each station either transmits or receives on each channel
+  (the paper's multi-channel protocols assume one transceiver per channel);
+* a listening station receives a message in a slot iff **exactly one** of
+  its neighbors transmits in that slot (on that channel);
+* there is no collision detection — a collision is indistinguishable from
+  silence at the receiver;
+* a transmitting station hears nothing on the channel it transmits on.
+
+The engine is deliberately simple and allocation-light: per slot it asks
+every process for its transmission intents, resolves receptions channel by
+channel by counting transmitting neighbors, and delivers callbacks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError, ProtocolError, SimulationTimeout
+from repro.graphs.graph import Graph, NodeId
+from repro.radio.failures import FailureModel
+from repro.radio.process import Process, SlotAction
+from repro.radio.trace import (
+    CollisionEvent,
+    DeliverEvent,
+    EventTrace,
+    NetworkStats,
+    TransmitEvent,
+)
+from repro.radio.transmission import Transmission
+
+UntilPredicate = Callable[["RadioNetwork"], bool]
+
+
+class RadioNetwork:
+    """A synchronous multi-hop radio network over a fixed topology.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology (stations = nodes, range = edges).
+    num_channels:
+        How many orthogonal channels exist.  Single-channel protocols use
+        channel 0; the paper's concurrent collection/distribution stack
+        uses 2 ("we … assume separate channels", §1.4).
+    trace:
+        Optional :class:`~repro.radio.trace.EventTrace` capturing every
+        event.  Aggregate counters in :attr:`stats` are always collected.
+    failures:
+        Optional failure model (crashes / link loss) for robustness
+        experiments; ``None`` is the paper's failure-free model.
+    capture_effect:
+        §8 remark (3)'s model variant: "in case of a conflict the
+        receiver may get one of the messages."  When enabled, a collision
+        delivers one of the colliding payloads chosen uniformly at random
+        (seeded by ``capture_seed``) instead of nothing.  The paper notes
+        its deterministic acknowledgement mechanism "is no longer valid"
+        under this model — tests confirm exactly that.
+    collision_detection:
+        §8 remark (4)'s variant: listeners get an explicit
+        ``on_collision`` callback when ≥ 2 neighbors transmit.  The
+        paper's protocols never use it ("we do not know how to use it");
+        it is exposed for experimentation.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_channels: int = 1,
+        trace: Optional[EventTrace] = None,
+        failures: Optional[FailureModel] = None,
+        capture_effect: bool = False,
+        collision_detection: bool = False,
+        capture_seed: int = 0,
+    ):
+        if num_channels < 1:
+            raise ConfigurationError(
+                f"need at least one channel, got {num_channels}"
+            )
+        self.graph = graph
+        self.num_channels = num_channels
+        self.trace = trace
+        self.failures = failures
+        self.capture_effect = capture_effect
+        self.collision_detection = collision_detection
+        self._capture_rng = (
+            random.Random(capture_seed) if capture_effect else None
+        )
+        self.slot = 0
+        self.stats = NetworkStats()
+        self._processes: Dict[NodeId, Process] = {}
+        # Cache adjacency as plain lists once; the inner loop iterates them
+        # millions of times.
+        self._neighbors: Dict[NodeId, tuple] = {
+            node: graph.neighbors(node) for node in graph.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # Wiring processes to stations
+    # ------------------------------------------------------------------
+
+    def attach(self, process: Process) -> None:
+        """Install ``process`` on its station (``process.node_id``)."""
+        node = process.node_id
+        if node not in self.graph:
+            raise ConfigurationError(f"no station {node!r} in topology")
+        self._processes[node] = process
+
+    def attach_all(self, factory: Callable[[NodeId], Process]) -> None:
+        """Install ``factory(node)`` on every station of the topology."""
+        for node in self.graph.nodes:
+            self.attach(factory(node))
+
+    def process(self, node: NodeId) -> Process:
+        return self._processes[node]
+
+    @property
+    def processes(self) -> Dict[NodeId, Process]:
+        return dict(self._processes)
+
+    def _require_fully_attached(self) -> None:
+        missing = set(self.graph.nodes) - set(self._processes)
+        if missing:
+            raise ConfigurationError(
+                f"stations without processes: {sorted(missing)[:5]!r}"
+                + ("…" if len(missing) > 5 else "")
+            )
+
+    # ------------------------------------------------------------------
+    # The slot loop
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_action(action: SlotAction) -> List[Transmission]:
+        if action is None:
+            return []
+        if isinstance(action, Transmission):
+            return [action]
+        return list(action)
+
+    def step(self) -> None:
+        """Advance the network by one slot."""
+        self._require_fully_attached()
+        slot = self.slot
+        failures = self.failures
+        trace = self.trace
+
+        # Phase 1: gather transmission intents.
+        transmitters: List[Dict[NodeId, object]] = [
+            {} for _ in range(self.num_channels)
+        ]
+        transmitting_nodes: List[set] = [set() for _ in range(self.num_channels)]
+        down_nodes = set()
+        for node, process in self._processes.items():
+            if failures is not None and failures.node_down(node, slot):
+                down_nodes.add(node)
+                continue
+            for tx in self._normalize_action(process.on_slot(slot)):
+                if tx.channel >= self.num_channels:
+                    raise ProtocolError(
+                        f"node {node!r} transmitted on channel {tx.channel} "
+                        f"but the network has {self.num_channels} channel(s)"
+                    )
+                if node in transmitting_nodes[tx.channel]:
+                    raise ProtocolError(
+                        f"node {node!r} transmitted twice on channel "
+                        f"{tx.channel} in slot {slot}"
+                    )
+                transmitters[tx.channel][node] = tx.payload
+                transmitting_nodes[tx.channel].add(node)
+                self.stats.channel(tx.channel).transmissions += 1
+                if trace is not None:
+                    trace.record(
+                        TransmitEvent(slot, tx.channel, node, tx.payload)
+                    )
+
+        # Phase 2: resolve receptions channel by channel.
+        neighbors = self._neighbors
+        for channel in range(self.num_channels):
+            senders = transmitters[channel]
+            if not senders:
+                continue
+            self.stats.channel(channel).busy_slots += 1
+            hit_count: Dict[NodeId, int] = {}
+            last_sender: Dict[NodeId, NodeId] = {}
+            for sender in senders:
+                for receiver in neighbors[sender]:
+                    hit_count[receiver] = hit_count.get(receiver, 0) + 1
+                    last_sender[receiver] = sender
+            sending_here = transmitting_nodes[channel]
+            for receiver, count in hit_count.items():
+                if receiver in sending_here or receiver in down_nodes:
+                    continue  # busy transmitting / crashed: hears nothing
+                if count >= 2:
+                    self.stats.channel(channel).collisions += 1
+                    colliders = None
+                    if trace is not None or self.capture_effect:
+                        colliders = tuple(
+                            s for s in senders if receiver in neighbors[s]
+                        )
+                    if trace is not None:
+                        assert colliders is not None
+                        trace.record(
+                            CollisionEvent(slot, channel, receiver, colliders)
+                        )
+                    if self.collision_detection:
+                        self._processes[receiver].on_collision(slot, channel)
+                    if self.capture_effect:
+                        # §8 remark (3): the receiver captures one of the
+                        # colliding messages, uniformly at random.
+                        assert colliders is not None
+                        assert self._capture_rng is not None
+                        winner = self._capture_rng.choice(colliders)
+                        self.stats.channel(channel).deliveries += 1
+                        if trace is not None:
+                            trace.record(
+                                DeliverEvent(
+                                    slot,
+                                    channel,
+                                    receiver,
+                                    winner,
+                                    senders[winner],
+                                )
+                            )
+                        self._processes[receiver].on_receive(
+                            slot, channel, senders[winner]
+                        )
+                    continue
+                sender = last_sender[receiver]
+                if failures is not None and failures.drop_delivery(
+                    sender, receiver, slot
+                ):
+                    continue
+                self.stats.channel(channel).deliveries += 1
+                if trace is not None:
+                    trace.record(
+                        DeliverEvent(
+                            slot, channel, receiver, sender, senders[sender]
+                        )
+                    )
+                self._processes[receiver].on_receive(
+                    slot, channel, senders[sender]
+                )
+
+        # Phase 3: end-of-slot bookkeeping.
+        for node, process in self._processes.items():
+            if node not in down_nodes:
+                process.on_slot_end(slot)
+
+        self.slot += 1
+        self.stats.slots += 1
+
+    def run(
+        self,
+        max_slots: int,
+        until: Optional[UntilPredicate] = None,
+        check_every: int = 1,
+    ) -> int:
+        """Run until ``until(self)`` holds or ``max_slots`` elapse.
+
+        Returns the number of slots executed *in this call*.  Raises
+        :class:`SimulationTimeout` if the predicate never held; if no
+        predicate is given, simply runs ``max_slots`` slots.
+        """
+        if max_slots < 0:
+            raise ConfigurationError(f"max_slots must be >= 0, got {max_slots}")
+        start = self.slot
+        if until is not None and until(self):
+            return 0
+        for executed in range(1, max_slots + 1):
+            self.step()
+            if (
+                until is not None
+                and executed % check_every == 0
+                and until(self)
+            ):
+                return executed
+        if until is None:
+            return max_slots
+        raise SimulationTimeout(
+            f"goal not reached within {max_slots} slots "
+            f"(started at slot {start})",
+            slots_elapsed=max_slots,
+        )
+
+    def run_until_done(self, max_slots: int, check_every: int = 1) -> int:
+        """Run until every process reports :meth:`Process.is_done`."""
+        return self.run(
+            max_slots,
+            until=lambda net: all(
+                p.is_done() for p in net._processes.values()
+            ),
+            check_every=check_every,
+        )

@@ -1,0 +1,106 @@
+"""The per-station process interface seen by the simulation engine.
+
+A *process* is the program running on one station.  The engine drives it
+with three callbacks per slot, in this order for every station:
+
+1. :meth:`Process.on_slot` — decide what to transmit this slot (possibly on
+   several channels; the paper's model allows one transceiver per channel).
+2. :meth:`Process.on_receive` — called once per channel on which *exactly
+   one* neighbor transmitted and this station was listening.
+3. :meth:`Process.on_slot_end` — bookkeeping after all receptions of the
+   slot are in.
+
+Faithfulness notes:
+
+* Stations receive the *message only*: the model gives no physical-layer
+  sender identification, so any sender/destination information must travel
+  inside the payload (the paper appends IDs to messages explicitly, §4).
+* There is no collision detection: a collision and a silent slot are both
+  simply "no :meth:`on_receive` call".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Union
+
+from repro.graphs.graph import NodeId
+from repro.radio.transmission import Transmission
+
+#: What :meth:`Process.on_slot` may return: nothing (listen on all
+#: channels), one transmission, or several transmissions on distinct
+#: channels.
+SlotAction = Union[None, Transmission, Iterable[Transmission]]
+
+
+class Process:
+    """Base class for station programs.
+
+    Subclasses override the callbacks they need.  The default behaviour is
+    a station that always listens and ignores everything it hears.
+    """
+
+    def __init__(self, node_id: NodeId):
+        self.node_id = node_id
+
+    def on_slot(self, slot: int) -> SlotAction:
+        """Return the transmission(s) for this slot, or None to listen."""
+        return None
+
+    def on_receive(self, slot: int, channel: int, payload: Any) -> None:
+        """Called when a message was successfully received on ``channel``."""
+
+    def on_collision(self, slot: int, channel: int) -> None:
+        """Called on a collision — ONLY in the §8-remark-(4) model variant.
+
+        The paper's base model has no collision detection, so no protocol
+        in :mod:`repro.core` implements this; it exists for experiments
+        with the ``collision_detection=True`` engine option.
+        """
+
+    def on_slot_end(self, slot: int) -> None:
+        """Called after all of this slot's receptions have been delivered."""
+
+    def is_done(self) -> bool:
+        """Whether this station considers its task locally complete.
+
+        Purely observational: the engine never consults it, but experiment
+        drivers commonly run ``until=lambda net: all(p.is_done() ...)``.
+        """
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(node={self.node_id!r})"
+
+
+class SilentProcess(Process):
+    """A station that only listens, recording everything it hears.
+
+    Useful as an experiment probe and in unit tests of the engine.
+    """
+
+    def __init__(self, node_id: NodeId):
+        super().__init__(node_id)
+        self.heard: list = []
+
+    def on_receive(self, slot: int, channel: int, payload: Any) -> None:
+        self.heard.append((slot, channel, payload))
+
+
+class ScriptedProcess(Process):
+    """A station that transmits a fixed script: slot -> transmissions.
+
+    The script maps slot numbers to a :class:`SlotAction`; unknown slots
+    listen.  Used heavily by engine unit tests to build exact collision
+    scenarios.
+    """
+
+    def __init__(self, node_id: NodeId, script: Optional[dict] = None):
+        super().__init__(node_id)
+        self.script = dict(script or {})
+        self.heard: list = []
+
+    def on_slot(self, slot: int) -> SlotAction:
+        return self.script.get(slot)
+
+    def on_receive(self, slot: int, channel: int, payload: Any) -> None:
+        self.heard.append((slot, channel, payload))

@@ -1,0 +1,32 @@
+"""Transmission intents handed from protocol processes to the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Default channel used by single-channel protocols.
+DEFAULT_CHANNEL = 0
+
+#: Conventional channel assignment used by the multi-channel protocols:
+#: the paper assumes the upward (collection) and downward (distribution)
+#: traffic run "by using separate channels" (§1.4).
+UP_CHANNEL = 0
+DOWN_CHANNEL = 1
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """A single-slot transmission intent on one channel.
+
+    ``payload`` is the message object broadcast to all neighbors; per the
+    radio model it is delivered to a neighbor only if no other neighbor of
+    that node transmits on the same channel in the same slot.
+    """
+
+    payload: Any
+    channel: int = DEFAULT_CHANNEL
+
+    def __post_init__(self) -> None:
+        if self.channel < 0:
+            raise ValueError(f"channel must be >= 0, got {self.channel}")

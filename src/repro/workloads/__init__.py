@@ -1,0 +1,31 @@
+"""Reactive workloads: arrival processes and streaming drivers."""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BernoulliArrivals,
+    BurstArrivals,
+    DeterministicSchedule,
+)
+from repro.workloads.driver import (
+    BroadcastStreamRecord,
+    BroadcastStreamResult,
+    MessageRecord,
+    StreamingResult,
+    run_streaming_broadcast,
+    run_streaming_collection,
+    run_streaming_p2p,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BernoulliArrivals",
+    "BroadcastStreamRecord",
+    "BroadcastStreamResult",
+    "BurstArrivals",
+    "DeterministicSchedule",
+    "MessageRecord",
+    "StreamingResult",
+    "run_streaming_broadcast",
+    "run_streaming_collection",
+    "run_streaming_p2p",
+]

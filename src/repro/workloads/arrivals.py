@@ -1,0 +1,111 @@
+"""Arrival processes for reactive (streaming) workloads.
+
+The paper's protocols are reactive — "invoked whenever a source
+originates a message" (§1.4) — and its §4 analysis models arrivals as a
+Bernoulli process with rate λ < µ.  This module supplies the arrival
+processes experiments drive the protocols with:
+
+* :class:`BernoulliArrivals` — the analysis's own model: each phase,
+  each source independently originates a message with probability λ.
+* :class:`DeterministicSchedule` — scripted (slot, source, payload)
+  triples, for tests and trace replay.
+* :class:`BurstArrivals` — periodic synchronized bursts (every source
+  fires every ``period`` phases), the classic sensor-sampling pattern.
+
+All processes yield per-slot batches so drivers can inject mid-run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import NodeId
+
+
+class ArrivalProcess:
+    """Base: maps a slot to the (source, payload) arrivals at that slot."""
+
+    def arrivals_at(self, slot: int) -> List[Tuple[NodeId, Any]]:
+        raise NotImplementedError
+
+
+@dataclass
+class DeterministicSchedule(ArrivalProcess):
+    """Scripted arrivals: an explicit (slot, source, payload) list."""
+
+    events: Sequence[Tuple[int, NodeId, Any]]
+
+    def __post_init__(self) -> None:
+        self._by_slot: Dict[int, List[Tuple[NodeId, Any]]] = {}
+        for slot, source, payload in self.events:
+            if slot < 0:
+                raise ConfigurationError(f"negative arrival slot {slot}")
+            self._by_slot.setdefault(slot, []).append((source, payload))
+
+    def arrivals_at(self, slot: int) -> List[Tuple[NodeId, Any]]:
+        return self._by_slot.get(slot, [])
+
+
+class BernoulliArrivals(ArrivalProcess):
+    """Each source fires independently with probability λ per *phase*.
+
+    The §4 analysis counts time in Decay phases, so the rate is applied
+    once per ``phase_length`` slots (at the phase's first slot); passing
+    ``phase_length=1`` gives per-slot Bernoulli arrivals instead.
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[NodeId],
+        rate: float,
+        phase_length: int,
+        rng: random.Random,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0,1], got {rate}")
+        if phase_length < 1:
+            raise ConfigurationError("phase_length must be >= 1")
+        self.sources = tuple(sources)
+        self.rate = rate
+        self.phase_length = phase_length
+        self._rng = rng
+        self._counter = 0
+
+    def arrivals_at(self, slot: int) -> List[Tuple[NodeId, Any]]:
+        if slot % self.phase_length != 0:
+            return []
+        out = []
+        for source in self.sources:
+            if self._rng.random() < self.rate:
+                out.append((source, ("bernoulli", source, self._counter)))
+                self._counter += 1
+        return out
+
+
+class BurstArrivals(ArrivalProcess):
+    """Every source fires simultaneously every ``period`` slots."""
+
+    def __init__(
+        self, sources: Iterable[NodeId], period: int, bursts: int
+    ):
+        if period < 1:
+            raise ConfigurationError("period must be >= 1")
+        if bursts < 0:
+            raise ConfigurationError("bursts must be >= 0")
+        self.sources = tuple(sources)
+        self.period = period
+        self.bursts = bursts
+
+    def arrivals_at(self, slot: int) -> List[Tuple[NodeId, Any]]:
+        if slot % self.period != 0:
+            return []
+        burst_index = slot // self.period
+        if burst_index >= self.bursts:
+            return []
+        return [
+            (source, ("burst", burst_index, source))
+            for source in self.sources
+        ]

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    grid,
+    path,
+    random_geometric,
+    reference_bfs_tree,
+    star,
+)
+
+
+@pytest.fixture
+def path10() -> Graph:
+    return path(10)
+
+
+@pytest.fixture
+def star8() -> Graph:
+    return star(8)
+
+
+@pytest.fixture
+def grid4() -> Graph:
+    return grid(4, 4)
+
+
+@pytest.fixture
+def rgg30() -> Graph:
+    """A fixed connected random geometric graph (seeded)."""
+    return random_geometric(30, radius=0.32, rng=random.Random(2024))
+
+
+@pytest.fixture
+def prepared_rgg30(rgg30):
+    """(graph, tree-with-DFS-intervals) over the fixed RGG."""
+    tree = reference_bfs_tree(rgg30, root=0)
+    tree.assign_dfs_intervals()
+    return rgg30, tree
+
+
+def small_test_graphs():
+    """A deterministic assortment of small graphs for parametrized tests."""
+    rng = random.Random(7)
+    return [
+        ("path5", path(5)),
+        ("star6", star(6)),
+        ("grid3x3", grid(3, 3)),
+        ("rgg16", random_geometric(16, radius=0.45, rng=rng)),
+    ]

@@ -1,0 +1,218 @@
+"""Unit tests for the BFSTree structure and DFS-interval addressing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.graphs import (
+    BFSTree,
+    Graph,
+    bfs_levels,
+    grid,
+    gnp_connected,
+    path,
+    random_tree,
+    reference_bfs_tree,
+    star,
+)
+
+
+class TestReferenceTree:
+    def test_levels_are_distances(self):
+        g = grid(4, 4)
+        tree = reference_bfs_tree(g, 0)
+        assert tree.level == bfs_levels(g, 0)
+
+    def test_parents_are_neighbors_one_level_up(self):
+        g = gnp_connected(18, 0.25, random.Random(1))
+        tree = reference_bfs_tree(g, 3)
+        for node in g.nodes:
+            if node == 3:
+                continue
+            parent = tree.parent[node]
+            assert g.has_edge(node, parent)
+            assert tree.level[node] == tree.level[parent] + 1
+
+    def test_disconnected_raises(self):
+        g = Graph.from_edges([(0, 1)], nodes=[0, 1, 2])
+        with pytest.raises(TopologyError):
+            reference_bfs_tree(g, 0)
+
+    def test_unknown_root(self):
+        with pytest.raises(TopologyError):
+            reference_bfs_tree(path(3), 42)
+
+    def test_deterministic(self):
+        g = gnp_connected(15, 0.3, random.Random(2))
+        assert reference_bfs_tree(g, 0).parent == reference_bfs_tree(g, 0).parent
+
+
+class TestValidation:
+    def test_root_must_be_own_parent(self):
+        with pytest.raises(TopologyError):
+            BFSTree(root=0, parent={0: 1, 1: 1}, level={0: 0, 1: 1})
+
+    def test_root_level_zero(self):
+        with pytest.raises(TopologyError):
+            BFSTree(root=0, parent={0: 0}, level={0: 3})
+
+    def test_level_gap_rejected(self):
+        with pytest.raises(TopologyError):
+            BFSTree(
+                root=0,
+                parent={0: 0, 1: 0},
+                level={0: 0, 1: 2},
+            )
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TopologyError):
+            BFSTree(root=0, parent={0: 0, 1: 9}, level={0: 0, 1: 1})
+
+
+class TestStructureQueries:
+    @pytest.fixture
+    def tree(self):
+        return reference_bfs_tree(grid(3, 3), 0)
+
+    def test_children_inverse_of_parent(self, tree):
+        for node in tree.nodes:
+            for child in tree.children[node]:
+                assert tree.parent[child] == node
+
+    def test_depth(self, tree):
+        assert tree.depth == 4
+
+    def test_layer(self, tree):
+        assert tree.layer(0) == (0,)
+        assert set(tree.layer(1)) == {1, 3}
+
+    def test_path_to_root(self, tree):
+        p = tree.path_to_root(8)
+        assert p[0] == 8 and p[-1] == 0
+        assert len(p) == tree.level[8] + 1
+
+    def test_subtree_contains_descendants(self, tree):
+        everything = list(tree.subtree(tree.root))
+        assert sorted(everything) == list(tree.nodes)
+        assert tree.subtree_size(tree.root) == tree.num_nodes
+
+    def test_tree_edges_count(self, tree):
+        assert len(list(tree.tree_edges())) == tree.num_nodes - 1
+
+
+class TestLca:
+    def test_lca_on_path(self):
+        tree = reference_bfs_tree(path(7), 3)
+        assert tree.lca(0, 6) == 3
+        assert tree.lca(0, 1) == 1
+        assert tree.lca(5, 5) == 5
+
+    def test_lca_vs_path_intersection(self):
+        g = gnp_connected(16, 0.3, random.Random(4))
+        tree = reference_bfs_tree(g, 0)
+        for u in [1, 5, 9]:
+            for v in [2, 7, 15]:
+                meet = tree.lca(u, v)
+                up = set(tree.path_to_root(u))
+                vp = tree.path_to_root(v)
+                # the lca is the first node of v's root path that is an
+                # ancestor of u
+                first_common = next(x for x in vp if x in up)
+                assert meet == first_common
+
+    def test_tree_path_is_valid_walk(self):
+        g = grid(4, 4)
+        tree = reference_bfs_tree(g, 0)
+        walk = tree.tree_path(12, 7)
+        assert walk[0] == 12 and walk[-1] == 7
+        for a, b in zip(walk, walk[1:]):
+            assert tree.parent[a] == b or tree.parent[b] == a
+
+
+class TestDfsIntervals:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_numbers_are_a_permutation(self, seed):
+        g = random_tree(20, random.Random(seed))
+        tree = reference_bfs_tree(g, 0)
+        tree.assign_dfs_intervals()
+        assert sorted(tree.dfs_number.values()) == list(range(20))
+
+    def test_interval_covers_exactly_subtree(self):
+        g = gnp_connected(17, 0.3, random.Random(6))
+        tree = reference_bfs_tree(g, 0)
+        tree.assign_dfs_intervals()
+        for node in tree.nodes:
+            subtree_numbers = sorted(
+                tree.dfs_number[v] for v in tree.subtree(node)
+            )
+            low, high = tree.dfs_number[node], tree.subtree_max[node]
+            assert subtree_numbers == list(range(low, high + 1))
+
+    def test_root_owns_everything(self):
+        tree = reference_bfs_tree(grid(3, 3), 0)
+        tree.assign_dfs_intervals()
+        assert tree.dfs_number[0] == 0
+        assert tree.subtree_max[0] == tree.num_nodes - 1
+
+    def test_owns_address(self):
+        tree = reference_bfs_tree(path(5), 0)
+        tree.assign_dfs_intervals()
+        leaf = 4
+        assert tree.owns_address(leaf, tree.dfs_number[leaf])
+        assert not tree.owns_address(leaf, tree.dfs_number[0])
+
+    def test_node_of_address_roundtrip(self):
+        tree = reference_bfs_tree(star(6), 0)
+        tree.assign_dfs_intervals()
+        for node in tree.nodes:
+            assert tree.node_of_address(tree.dfs_number[node]) == node
+
+    def test_node_of_unknown_address(self):
+        tree = reference_bfs_tree(path(3), 0)
+        tree.assign_dfs_intervals()
+        with pytest.raises(TopologyError):
+            tree.node_of_address(99)
+
+    def test_route_next_hop_walks_tree_path(self):
+        g = gnp_connected(15, 0.3, random.Random(8))
+        tree = reference_bfs_tree(g, 0)
+        tree.assign_dfs_intervals()
+        for source in [2, 9]:
+            for dest in [1, 14]:
+                current = source
+                hops = 0
+                while current != dest:
+                    current = tree.route_next_hop(
+                        current, tree.dfs_number[dest]
+                    )
+                    hops += 1
+                    assert hops <= tree.num_nodes
+                expected = len(tree.tree_path(source, dest)) - 1
+                assert hops == expected
+
+    def test_route_before_assignment_raises(self):
+        tree = reference_bfs_tree(path(3), 0)
+        with pytest.raises(TopologyError):
+            tree.route_next_hop(0, 2)
+
+
+@given(st.integers(min_value=2, max_value=40), st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_dfs_intervals_nested_or_disjoint(n, seed):
+    """Any two DFS intervals are nested or disjoint (laminar family)."""
+    g = random_tree(n, random.Random(seed))
+    tree = reference_bfs_tree(g, 0)
+    tree.assign_dfs_intervals()
+    intervals = [
+        (tree.dfs_number[v], tree.subtree_max[v]) for v in tree.nodes
+    ]
+    for a_low, a_high in intervals:
+        for b_low, b_high in intervals:
+            nested = (a_low <= b_low and b_high <= a_high) or (
+                b_low <= a_low and a_high <= b_high
+            )
+            disjoint = a_high < b_low or b_high < a_low
+            assert nested or disjoint

@@ -1,0 +1,227 @@
+"""Tests for k-broadcast (§6): pipelined distribution with NACK recovery."""
+
+import random
+
+import pytest
+
+from repro.core import run_broadcast, superphase_invocations
+from repro.core.broadcast import EOS, build_broadcast_network
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    balanced_tree,
+    grid,
+    path,
+    random_geometric,
+    reference_bfs_tree,
+    star,
+)
+
+
+def tree_of(graph, root=0):
+    return reference_bfs_tree(graph, root)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path(7),
+            lambda: star(8),
+            lambda: grid(3, 3),
+            lambda: balanced_tree(2, 3),
+            lambda: random_geometric(16, 0.45, random.Random(5)),
+        ],
+        ids=["path", "star", "grid", "tree", "rgg"],
+    )
+    def test_every_station_gets_every_message(self, graph_factory):
+        graph = graph_factory()
+        tree = tree_of(graph)
+        submissions = {
+            list(graph.nodes)[1]: ["a", "b"],
+            list(graph.nodes)[-1]: ["c"],
+        }
+        result = run_broadcast(graph, tree, submissions, seed=4)
+        assert result.delivered_everywhere
+        assert result.messages == 3
+
+    def test_root_sourced_broadcast(self):
+        graph = path(6)
+        tree = tree_of(graph)
+        result = run_broadcast(graph, tree, {0: ["r1", "r2"]}, seed=1)
+        assert result.delivered_everywhere
+
+    def test_messages_delivered_in_sequence_order(self):
+        graph = path(5)
+        tree = tree_of(graph)
+        network, processes = build_broadcast_network(graph, tree, seed=7)
+        for payload in ["m0", "m1", "m2"]:
+            processes[0].submit(payload)
+        network.run(
+            200_000,
+            until=lambda n: all(
+                p.has_prefix(3) for p in processes.values()
+            ),
+            check_every=4,
+        )
+        for process in processes.values():
+            ordered = process.delivered_in_order()
+            assert [m.seq for m in ordered] == [0, 1, 2]
+            assert [m.payload for m in ordered] == ["m0", "m1", "m2"]
+
+    def test_multi_source_sequencing_is_global(self):
+        """All stations agree on one global message order (root order)."""
+        graph = star(6)
+        tree = tree_of(graph)
+        submissions = {n: [f"s{n}"] for n in range(1, 6)}
+        network, processes = build_broadcast_network(graph, tree, seed=9)
+        for node, payloads in submissions.items():
+            for p in payloads:
+                processes[node].submit(p)
+        network.run(
+            400_000,
+            until=lambda n: all(
+                p.has_prefix(5) for p in processes.values()
+            ),
+            check_every=4,
+        )
+        orders = {
+            tuple(m.payload for m in p.delivered_in_order())
+            for p in processes.values()
+        }
+        assert len(orders) == 1  # identical everywhere
+
+    def test_origin_preserved(self):
+        graph = path(4)
+        tree = tree_of(graph)
+        network, processes = build_broadcast_network(graph, tree, seed=3)
+        processes[3].submit("from-leaf")
+        network.run(
+            200_000,
+            until=lambda n: all(
+                p.has_prefix(1) for p in processes.values()
+            ),
+            check_every=4,
+        )
+        for process in processes.values():
+            assert process.received[0].origin == 3
+
+    def test_empty_workload_trivially_complete(self):
+        graph = path(4)
+        tree = tree_of(graph)
+        result = run_broadcast(graph, tree, {}, seed=0)
+        assert result.delivered_everywhere
+        assert result.slots == 0
+
+    def test_unknown_station_rejected(self):
+        graph = path(3)
+        with pytest.raises(ConfigurationError):
+            run_broadcast(graph, tree_of(graph), {42: ["x"]}, seed=0)
+
+
+class TestGapRecovery:
+    def test_tiny_superphases_force_losses_and_recovery(self):
+        """invocations=1 gives each hop only one Decay try per superphase;
+        with several same-level relays contending (layered band), pipeline
+        misses are common — the NACK path must heal them all."""
+        from repro.graphs import layered_band
+
+        graph = layered_band(4, 3)
+        tree = tree_of(graph)
+        result = run_broadcast(
+            graph,
+            tree,
+            {0: [f"m{i}" for i in range(6)]},
+            seed=2,
+            invocations=1,
+        )
+        assert result.delivered_everywhere
+
+    def test_resends_counted(self):
+        from repro.graphs import layered_band
+
+        graph = layered_band(5, 3)
+        tree = tree_of(graph)
+        total_resends = 0
+        for seed in range(4):
+            result = run_broadcast(
+                graph,
+                tree,
+                {0: [f"m{i}" for i in range(8)]},
+                seed=seed,
+                invocations=1,
+            )
+            assert result.delivered_everywhere
+            total_resends += result.resends
+        assert total_resends > 0  # contention with one try/hop loses some
+
+    def test_path_never_loses(self):
+        """On a path every hop has a single transmitter, so even one
+        invocation per superphase delivers without any NACK traffic."""
+        graph = path(10)
+        tree = tree_of(graph)
+        result = run_broadcast(
+            graph,
+            tree,
+            {0: [f"m{i}" for i in range(8)]},
+            seed=1,
+            invocations=1,
+        )
+        assert result.delivered_everywhere
+        assert result.resends == 0
+
+    def test_default_invocations_rarely_need_resends(self):
+        graph = grid(3, 3)
+        tree = tree_of(graph)
+        result = run_broadcast(
+            graph, tree, {0: [f"m{i}" for i in range(5)]}, seed=3
+        )
+        assert result.delivered_everywhere
+        assert result.resends <= 2
+
+
+class TestCheckpointing:
+    def test_checkpoint_acks_collected(self):
+        graph = path(5)
+        tree = tree_of(graph)
+        network, processes = build_broadcast_network(
+            graph, tree, seed=5, checkpoint_interval=2
+        )
+        for payload in ["a", "b", "c", "d"]:
+            processes[0].submit(payload)
+        network.run(
+            400_000,
+            until=lambda n: all(
+                p.has_prefix(4) for p in processes.values()
+            )
+            and len(processes[0].checkpoint_acks.get(2, ())) >= 4,
+            check_every=8,
+        )
+        acks = processes[0].checkpoint_acks
+        assert set(acks.get(1, ())) == {1, 2, 3, 4}
+        assert set(acks.get(2, ())) == {1, 2, 3, 4}
+
+
+class TestSuperphaseArithmetic:
+    def test_invocations_formula(self):
+        assert superphase_invocations(2) == 2
+        assert superphase_invocations(16) == 8
+        assert superphase_invocations(17) == 10
+
+    def test_eos_announcements_carry_count(self):
+        graph = path(3)
+        tree = tree_of(graph)
+        network, processes = build_broadcast_network(graph, tree, seed=0)
+        processes[0].submit("only")
+        network.run(
+            100_000,
+            until=lambda n: all(
+                p.has_prefix(1) for p in processes.values()
+            )
+            and processes[2].announced_count >= 1,
+            check_every=4,
+        )
+        assert processes[1].announced_count == 1
+        assert processes[2].announced_count == 1
+        # EOS itself is never stored as a message.
+        for process in processes.values():
+            assert all(m.payload != EOS for m in process.received.values())

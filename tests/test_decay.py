@@ -1,0 +1,197 @@
+"""Unit and statistical tests for the Decay primitive."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    DecayRelay,
+    DecaySession,
+    DecayTransmitter,
+    decay_budget,
+    decay_schedule,
+    expected_transmissions,
+    simulate_star_reception,
+    success_probability_exact,
+)
+from repro.graphs import path, star
+from repro.radio import RadioNetwork, SilentProcess
+
+
+class TestDecaySession:
+    def test_transmits_at_least_once(self):
+        session = DecaySession(budget=4, rng=random.Random(0))
+        assert session.should_transmit() is True
+
+    def test_never_exceeds_budget(self):
+        class AlwaysSurvive(random.Random):
+            def random(self):
+                return 0.9  # > 0.5 -> survive
+
+        session = DecaySession(budget=3, rng=AlwaysSurvive())
+        transmissions = [session.should_transmit() for _ in range(10)]
+        assert transmissions == [True, True, True] + [False] * 7
+
+    def test_dies_on_first_tails(self):
+        class AlwaysDie(random.Random):
+            def random(self):
+                return 0.1  # < 0.5 -> die
+
+        session = DecaySession(budget=5, rng=AlwaysDie())
+        assert session.should_transmit() is True  # transmit-then-flip
+        assert session.should_transmit() is False
+        assert not session.alive
+
+    def test_kill_silences(self):
+        session = DecaySession(budget=5, rng=random.Random(1))
+        session.kill()
+        assert session.should_transmit() is False
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            DecaySession(budget=0, rng=random.Random(0))
+
+    def test_schedule_is_contiguous_prefix(self):
+        """A station transmits in a prefix of its opportunities, then dies."""
+        for seed in range(50):
+            pattern = decay_schedule(8, random.Random(seed))
+            if False in pattern:
+                first_false = pattern.index(False)
+                assert all(not x for x in pattern[first_false:])
+
+    def test_expected_transmissions_close_to_two(self):
+        assert expected_transmissions(1) == 1.0
+        assert abs(expected_transmissions(20) - 2.0) < 1e-4
+        rng = random.Random(3)
+        trials = 20_000
+        total = sum(sum(decay_schedule(10, rng)) for _ in range(trials))
+        assert abs(total / trials - expected_transmissions(10)) < 0.02
+
+
+class TestExactSuccessProbability:
+    def test_single_transmitter_always_succeeds(self):
+        assert success_probability_exact(1, 1) == Fraction(1)
+        assert success_probability_exact(1, 5) == Fraction(1)
+
+    def test_two_transmitters_one_step(self):
+        # success iff exactly one lives at step 2... with budget 1, both
+        # start live: never exactly one at step 1 -> success only when m=1.
+        assert success_probability_exact(2, 1) == Fraction(0)
+
+    def test_two_transmitters_two_steps(self):
+        # Step 1: both transmit (collision); each survives w.p. 1/2.
+        # Step 2 begins with exactly one live w.p. 1/2 -> success.
+        assert success_probability_exact(2, 2) == Fraction(1, 2)
+
+    def test_paper_property_two(self):
+        """Decay property (2): ≥ 1/2 for m ≤ Δ with budget 2·ceil(log2 Δ).
+
+        (The bound is tight: m = Δ = 2 with budget 2 gives exactly 1/2.)
+        """
+        for max_degree in [2, 4, 8, 16, 32]:
+            budget = decay_budget(max_degree)
+            for m in range(2, max_degree + 1):
+                p = success_probability_exact(m, budget)
+                assert p >= Fraction(1, 2), (max_degree, m, p)
+        assert success_probability_exact(2, decay_budget(2)) == Fraction(1, 2)
+
+    def test_monotone_in_budget(self):
+        for m in [2, 5, 9]:
+            values = [
+                success_probability_exact(m, b) for b in range(1, 10)
+            ]
+            assert values == sorted(values)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            success_probability_exact(0, 3)
+        with pytest.raises(ValueError):
+            success_probability_exact(3, 0)
+
+
+class TestMonteCarloAgreement:
+    @pytest.mark.parametrize("m,budget", [(2, 4), (4, 4), (7, 6)])
+    def test_simulation_matches_exact(self, m, budget):
+        exact = float(success_probability_exact(m, budget))
+        estimate = simulate_star_reception(
+            m, budget, random.Random(42), trials=20_000
+        )
+        assert abs(estimate - exact) < 0.02
+
+    def test_engine_level_star_matches_exact(self):
+        """Full radio-engine simulation of the star scenario."""
+        m, budget = 3, 4
+        exact = float(success_probability_exact(m, budget))
+        successes = 0
+        trials = 2_000
+        for trial in range(trials):
+            g = star(m + 1)  # center 0 listens; leaves 1..m decay
+            net = RadioNetwork(g)
+            center = SilentProcess(0)
+            net.attach(center)
+            for leaf in range(1, m + 1):
+                net.attach(
+                    DecayTransmitter(
+                        leaf,
+                        payload=f"msg{leaf}",
+                        budget=budget,
+                        rng=random.Random(1000 * trial + leaf),
+                    )
+                )
+            net.run(budget)
+            if center.heard:
+                successes += 1
+        assert abs(successes / trials - exact) < 0.04
+
+
+class TestDecayRelay:
+    def test_flood_informs_a_path(self):
+        g = path(6)
+        net = RadioNetwork(g)
+        procs = {}
+        for node in g.nodes:
+            proc = DecayRelay(
+                node,
+                budget=4,
+                repetitions=50,
+                rng=random.Random(node + 99),
+                initial_payload="m" if node == 0 else None,
+            )
+            procs[node] = proc
+            net.attach(proc)
+        net.run(
+            2_000, until=lambda n: all(p.informed for p in procs.values())
+        )
+        assert all(p.informed for p in procs.values())
+        assert all(p.payload == "m" for p in procs.values())
+
+    def test_window_alignment(self):
+        """A relay never transmits before the window after it was informed."""
+        g = path(3)
+        net = RadioNetwork(g)
+        budget = 4
+        relays = {
+            node: DecayRelay(
+                node,
+                budget=budget,
+                repetitions=10,
+                rng=random.Random(node),
+                initial_payload="x" if node == 0 else None,
+            )
+            for node in g.nodes
+        }
+        for relay in relays.values():
+            net.attach(relay)
+        net.run(budget)  # exactly one window
+        relay1 = relays[1]
+        if relay1.informed:
+            assert relay1.informed_at_slot is not None
+            # informed during window 0 -> must not have transmitted yet
+            assert relay1._joined_window == 1
+
+    def test_uninformed_relay_is_silent(self):
+        relay = DecayRelay(5, budget=4, repetitions=3, rng=random.Random(0))
+        assert relay.on_slot(0) is None
+        assert not relay.informed
+        assert not relay.is_done()

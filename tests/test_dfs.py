@@ -1,0 +1,133 @@
+"""Tests for the token-DFS preparation protocol (§5.1)."""
+
+import copy
+import random
+
+import pytest
+
+from repro.core import apply_preparation, prepared_tree_infos, run_dfs_preparation
+from repro.graphs import (
+    balanced_tree,
+    gnp_connected,
+    grid,
+    path,
+    random_geometric,
+    random_tree,
+    reference_bfs_tree,
+    star,
+)
+
+
+def prepare(graph, root=0):
+    tree = reference_bfs_tree(graph, root)
+    result = run_dfs_preparation(graph, tree)
+    return tree, result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path(7),
+            lambda: star(8),
+            lambda: grid(3, 3),
+            lambda: balanced_tree(3, 2),
+            lambda: random_geometric(18, 0.4, random.Random(2)),
+            lambda: gnp_connected(15, 0.3, random.Random(4)),
+            lambda: random_tree(20, random.Random(6)),
+        ],
+        ids=["path", "star", "grid", "tree", "rgg", "gnp", "rtree"],
+    )
+    def test_matches_centralized_assignment(self, graph_factory):
+        """The distributed traversals reproduce the centralized preorder."""
+        graph = graph_factory()
+        tree, result = prepare(graph)
+        reference = copy.deepcopy(tree)
+        reference.assign_dfs_intervals()
+        assert result.dfs_number == reference.dfs_number
+        assert result.subtree_max == reference.subtree_max
+
+    def test_numbers_are_a_permutation(self):
+        graph = gnp_connected(22, 0.25, random.Random(9))
+        _tree, result = prepare(graph)
+        assert sorted(result.dfs_number.values()) == list(range(22))
+
+    def test_bfs_children_learned_in_first_traversal(self):
+        graph = random_geometric(16, 0.45, random.Random(3))
+        tree, result = prepare(graph)
+        for node in graph.nodes:
+            assert result.bfs_children[node] == tree.children[node]
+
+    def test_single_station(self):
+        graph = path(1)
+        tree, result = prepare(graph)
+        assert result.dfs_number == {0: 0}
+        assert result.subtree_max == {0: 0}
+        assert result.slots == 0
+
+    def test_two_stations(self):
+        graph = path(2)
+        _tree, result = prepare(graph)
+        assert result.dfs_number == {0: 0, 1: 1}
+        assert result.subtree_max == {0: 1, 1: 1}
+
+    def test_nonzero_root(self):
+        graph = grid(3, 3)
+        tree, result = prepare(graph, root=4)
+        reference = copy.deepcopy(tree)
+        reference.assign_dfs_intervals()
+        assert result.dfs_number == reference.dfs_number
+
+
+class TestCost:
+    @pytest.mark.parametrize("n", [2, 5, 10, 20])
+    def test_linear_slot_count(self, n):
+        """Two traversals of 2(n−1) token passes each, plus O(1)."""
+        graph = path(n)
+        _tree, result = prepare(graph)
+        assert result.slots <= 4 * n + 4
+
+    def test_conflict_free(self):
+        """Token protocol never produces a collision (single transmitter)."""
+        from repro.radio import EventTrace, RadioNetwork
+        from repro.core.dfs import DfsPreparationProcess
+
+        graph = gnp_connected(14, 0.3, random.Random(5))
+        tree = reference_bfs_tree(graph, 0)
+        trace = EventTrace()
+        network = RadioNetwork(graph, trace=trace)
+        processes = {}
+        for node in graph.nodes:
+            proc = DfsPreparationProcess(
+                node, tree.parent[node], is_root=(node == 0)
+            )
+            proc.wire_neighbors(graph.neighbors(node))
+            processes[node] = proc
+            network.attach(proc)
+        processes[0].start_first_traversal()
+        network.run(10_000, until=lambda net: processes[0].done)
+        assert len(trace.collisions) == 0
+
+
+class TestDerivedInfos:
+    def test_prepared_tree_infos_consistent(self):
+        graph = random_geometric(15, 0.45, random.Random(8))
+        tree = reference_bfs_tree(graph, 0)
+        result = run_dfs_preparation(graph, tree)
+        apply_preparation(tree, result)
+        infos = prepared_tree_infos(graph, tree, result)
+        for node, info in infos.items():
+            assert info.dfs_number == tree.dfs_number[node]
+            assert info.subtree_max == tree.subtree_max[node]
+            for child, (low, high) in info.child_intervals.items():
+                assert tree.dfs_number[child] == low
+                assert tree.subtree_max[child] == high
+
+    def test_apply_preparation_enables_routing(self):
+        graph = grid(3, 3)
+        tree = reference_bfs_tree(graph, 0)
+        result = run_dfs_preparation(graph, tree)
+        apply_preparation(tree, result)
+        assert tree.has_dfs_intervals
+        hop = tree.route_next_hop(0, tree.dfs_number[8])
+        assert hop in tree.children[0]

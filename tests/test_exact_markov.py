@@ -1,0 +1,198 @@
+"""Tests for the exact Markov-chain tandem solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.queueing import (
+    expected_completion_exact,
+    expected_completion_model2_exact,
+    expected_completion_model3_exact,
+    mean_completion,
+    model4_prediction,
+    precedes,
+    reachable_states,
+    simulate_model2,
+    simulate_model3,
+)
+
+
+class TestStateEnumeration:
+    def test_single_message_single_level(self):
+        states = reachable_states((1,))
+        assert set(states) == {(0,), (1,)}
+
+    def test_reachable_states_precede_initial(self):
+        initial = (1, 2, 1)
+        for state in reachable_states(initial):
+            assert precedes(state, initial)
+
+    def test_counts_for_small_chain(self):
+        # (0, k): the reservoir drains one at a time through one level.
+        states = reachable_states((0, 3))
+        # level load can be 0..3, reservoir 0..3, level+reservoir <= 3.
+        assert len(states) == 10
+
+
+class TestExactValues:
+    def test_single_server_geometric(self):
+        """One message, one level (empty reservoir): T ~ Geometric(µ)."""
+        assert expected_completion_model2_exact(
+            [1], mu=0.25
+        ) == pytest.approx(4.0)
+
+    def test_two_loaded_levels_deterministic(self):
+        """µ = 1: the level-2 message needs 2 hops; the level-1 message
+        exits in step 1 — completion is exactly 2."""
+        assert expected_completion_model2_exact(
+            [1, 1], mu=1.0
+        ) == pytest.approx(2.0)
+
+    def test_deterministic_pipeline(self):
+        # k messages at the last of D levels, µ = 1: D + k - 1 steps.
+        assert expected_completion_model2_exact(
+            [0, 0, 4], mu=1.0
+        ) == pytest.approx(3 + 4 - 1)
+
+    def test_empty_initial(self):
+        assert expected_completion_exact((0, 0), mu=0.5) == 0.0
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_completion_exact((0, 2), mu=0.5, lam=0.0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ConfigurationError):
+            expected_completion_exact((1,), mu=0.0)
+        with pytest.raises(ConfigurationError):
+            expected_completion_exact((1,), mu=0.5, lam=1.5)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize(
+        "levels,mu",
+        [([2, 1], 0.5), ([0, 3], 0.3), ([1, 1, 1], 0.6)],
+    )
+    def test_model2_simulation_matches_exact(self, levels, mu):
+        exact = expected_completion_model2_exact(levels, mu)
+        mean, _ = mean_completion(
+            lambda rng: simulate_model2(levels, mu, rng),
+            replications=4_000,
+            seed=9,
+        )
+        assert mean == pytest.approx(exact, rel=0.05)
+
+    def test_model3_simulation_matches_exact(self):
+        k, depth, mu, lam = 3, 3, 0.4, 0.2
+        exact = expected_completion_model3_exact(k, depth, mu, lam)
+        mean, _ = mean_completion(
+            lambda rng: simulate_model3(k, depth, mu, lam, rng),
+            replications=4_000,
+            seed=10,
+        )
+        assert mean == pytest.approx(exact, rel=0.05)
+
+    def test_model3_exact_below_theorem_43(self):
+        """The Thm 4.3 (model 4) closed form upper-bounds model 3 exactly."""
+        k, depth, mu, lam = 4, 3, 0.4, 0.2
+        exact3 = expected_completion_model3_exact(k, depth, mu, lam)
+        bound = model4_prediction(k, depth, mu=mu, lam=lam)
+        assert exact3 <= bound
+
+
+@given(
+    st.lists(st.integers(0, 2), min_size=1, max_size=3),
+    st.floats(0.2, 0.9),
+)
+@settings(max_examples=30, deadline=None)
+def test_exact_monotone_in_mu(levels, mu):
+    """Faster servers never slow completion (Lemma 4.13 in expectation)."""
+    if sum(levels) == 0:
+        return
+    slower = expected_completion_exact(tuple(levels) + (0,), mu=mu)
+    faster = expected_completion_exact(
+        tuple(levels) + (0,), mu=min(1.0, mu + 0.05)
+    )
+    assert faster <= slower + 1e-9
+
+
+@given(st.integers(1, 3), st.integers(1, 3))
+@settings(max_examples=20, deadline=None)
+def test_exact_monotone_in_load(extra, depth):
+    """More messages never finish sooner (Lemma 4.9 in expectation)."""
+    base = (0,) * depth + (1,)
+    loaded = (0,) * depth + (1 + extra,)
+    mu, lam = 0.5, 0.3
+    assert expected_completion_exact(
+        base, mu, lam
+    ) <= expected_completion_exact(loaded, mu, lam)
+
+
+class TestCompletionDistribution:
+    def test_geometric_single_server(self):
+        """One message, one level: P(T=t) = µ(1−µ)^(t−1)."""
+        from repro.queueing import completion_time_distribution
+
+        mu = 0.3
+        pmf = completion_time_distribution((1, 0), mu, lam=0.0, t_max=30)
+        assert pmf[0] == 0.0
+        for t in range(1, 10):
+            assert pmf[t] == pytest.approx(mu * (1 - mu) ** (t - 1))
+
+    def test_mean_matches_expected_value(self):
+        from repro.queueing import (
+            completion_time_distribution,
+            expected_completion_exact,
+        )
+
+        initial, mu, lam = (1, 0, 2), 0.5, 0.3
+        pmf = completion_time_distribution(initial, mu, lam, t_max=400)
+        assert sum(pmf) == pytest.approx(1.0, abs=1e-6)
+        mean = sum(t * p for t, p in enumerate(pmf))
+        assert mean == pytest.approx(
+            expected_completion_exact(initial, mu, lam), rel=1e-4
+        )
+
+    def test_matches_simulation_histogram(self):
+        from repro.analysis import total_variation_distance
+        from repro.queueing import completion_time_distribution, simulate_model2
+
+        levels, mu = [1, 1], 0.5
+        pmf = completion_time_distribution(
+            tuple(levels) + (0,), mu, lam=0.0, t_max=40
+        )
+        trials = 20_000
+        counts = [0.0] * 41
+        for seed in range(trials):
+            steps = simulate_model2(levels, mu, random.Random(seed)).steps
+            if steps <= 40:
+                counts[steps] += 1
+        empirical = [c / trials for c in counts]
+        assert total_variation_distance(empirical, pmf) < 0.02
+
+    def test_already_empty(self):
+        from repro.queueing import completion_time_distribution
+
+        assert completion_time_distribution((0, 0), 0.5, 0.0, 5) == [
+            1.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+        ]
+
+    def test_infinite_rejected(self):
+        from repro.queueing import completion_time_distribution
+
+        with pytest.raises(ConfigurationError):
+            completion_time_distribution((0, 3), 0.5, 0.0, 10)
+
+    def test_negative_horizon_rejected(self):
+        from repro.queueing import completion_time_distribution
+
+        with pytest.raises(ConfigurationError):
+            completion_time_distribution((1, 0), 0.5, 0.0, -1)

@@ -1,0 +1,163 @@
+"""Tests for point-to-point transmission (§5)."""
+
+import random
+
+import pytest
+
+from repro.core import p2p_reference_slots, run_point_to_point
+from repro.core.point_to_point import build_p2p_network
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    balanced_tree,
+    grid,
+    path,
+    random_geometric,
+    reference_bfs_tree,
+    star,
+)
+
+
+def prepared(graph, root=0):
+    tree = reference_bfs_tree(graph, root)
+    tree.assign_dfs_intervals()
+    return tree
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path(8),
+            lambda: star(9),
+            lambda: grid(3, 4),
+            lambda: balanced_tree(2, 3),
+            lambda: random_geometric(18, 0.42, random.Random(4)),
+        ],
+        ids=["path", "star", "grid", "tree", "rgg"],
+    )
+    def test_batch_delivery(self, graph_factory):
+        graph = graph_factory()
+        tree = prepared(graph)
+        nodes = list(graph.nodes)
+        batch = [
+            (nodes[i], nodes[(3 * i + 5) % len(nodes)], f"pay{i}")
+            for i in range(8)
+            if nodes[i] != nodes[(3 * i + 5) % len(nodes)]
+        ]
+        result = run_point_to_point(graph, tree, batch, seed=6)
+        got = {
+            (m.origin, dest, m.payload)
+            for dest, msgs in result.delivered.items()
+            for m in msgs
+        }
+        assert got == set(batch)
+
+    def test_exactly_once(self):
+        graph = grid(3, 3)
+        tree = prepared(graph)
+        batch = [(8, 6, "a"), (2, 7, "b"), (5, 0, "c"), (0, 8, "d")]
+        result = run_point_to_point(graph, tree, batch, seed=2)
+        assert result.messages_delivered == len(batch)
+
+    def test_self_send_is_immediate(self):
+        graph = path(4)
+        tree = prepared(graph)
+        result = run_point_to_point(graph, tree, [(2, 2, "loop")], seed=0)
+        assert result.slots == 0
+        assert result.delivered[2][0].payload == "loop"
+
+    def test_sibling_to_sibling_turns_at_lca(self):
+        """Message between two leaves of a star passes through the center."""
+        graph = star(5)
+        tree = prepared(graph)
+        result = run_point_to_point(graph, tree, [(1, 4, "x")], seed=1)
+        assert result.delivered[4][0].payload == "x"
+
+    def test_root_to_leaf_descends_only(self):
+        graph = path(6)
+        tree = prepared(graph)
+        result = run_point_to_point(graph, tree, [(0, 5, "down")], seed=3)
+        assert result.delivered[5][0].payload == "down"
+        # Downward-only traffic: the up channel never carries data.
+        up_stats = result.stats.per_channel.get(0)
+        if up_stats is not None:
+            assert up_stats.transmissions == 0
+
+    def test_leaf_to_root_ascends_only(self):
+        graph = path(6)
+        tree = prepared(graph)
+        result = run_point_to_point(graph, tree, [(5, 0, "up")], seed=3)
+        assert result.delivered[0][0].payload == "up"
+        down_stats = result.stats.per_channel.get(1)
+        if down_stats is not None:
+            assert down_stats.transmissions == 0
+
+    def test_all_pairs_small_graph(self):
+        graph = path(5)
+        tree = prepared(graph)
+        batch = [
+            (u, v, f"{u}->{v}")
+            for u in graph.nodes
+            for v in graph.nodes
+            if u != v
+        ]
+        result = run_point_to_point(graph, tree, batch, seed=8)
+        assert result.messages_delivered == len(batch)
+
+    def test_requires_prepared_tree(self):
+        graph = path(4)
+        tree = reference_bfs_tree(graph, 0)  # no DFS intervals
+        with pytest.raises(ConfigurationError):
+            run_point_to_point(graph, tree, [(1, 2, "x")], seed=0)
+
+    def test_unknown_station_rejected(self):
+        graph = path(4)
+        tree = prepared(graph)
+        with pytest.raises(ConfigurationError):
+            run_point_to_point(graph, tree, [(0, 99, "x")], seed=0)
+
+    def test_deterministic_given_seed(self):
+        graph = grid(3, 3)
+        tree = prepared(graph)
+        batch = [(8, 0, "a"), (1, 7, "b")]
+        a = run_point_to_point(graph, tree, batch, seed=12)
+        b = run_point_to_point(graph, tree, batch, seed=12)
+        assert a.slots == b.slots
+
+    def test_reactive_submission(self):
+        graph = path(6)
+        tree = prepared(graph)
+        network, processes, _slots = build_p2p_network(graph, tree, seed=3)
+        processes[5].submit(tree.dfs_number[1], "first")
+        network.run(
+            100_000, until=lambda n: len(processes[1].delivered) >= 1
+        )
+        processes[1].submit(tree.dfs_number[5], "reply")
+        network.run(
+            100_000, until=lambda n: len(processes[5].delivered) >= 1
+        )
+        assert processes[5].delivered[0].payload == "reply"
+
+
+class TestPerformanceEnvelope:
+    def test_batch_within_reference(self):
+        graph = grid(4, 4)
+        tree = prepared(graph)
+        nodes = list(graph.nodes)
+        batch = [
+            (nodes[i % 16], nodes[(5 * i + 3) % 16], i)
+            for i in range(12)
+            if nodes[i % 16] != nodes[(5 * i + 3) % 16]
+        ]
+        bound = p2p_reference_slots(
+            len(batch), tree.depth, graph.max_degree(), level_classes=3
+        )
+        slots = [
+            run_point_to_point(graph, tree, batch, seed=s).slots
+            for s in range(5)
+        ]
+        assert sum(slots) / len(slots) <= 2 * bound
+
+    def test_reference_formula_monotone(self):
+        assert p2p_reference_slots(10, 4, 8) < p2p_reference_slots(20, 4, 8)
+        assert p2p_reference_slots(10, 4, 8) < p2p_reference_slots(10, 9, 8)

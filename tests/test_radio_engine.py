@@ -1,0 +1,266 @@
+"""Unit tests for the radio simulation engine (model semantics of §1.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError, SimulationTimeout
+from repro.graphs import Graph, path, star
+from repro.radio import (
+    CollisionEvent,
+    DeliverEvent,
+    EventTrace,
+    PermanentCrashes,
+    Process,
+    RadioNetwork,
+    ScriptedProcess,
+    SilentProcess,
+    Transmission,
+)
+
+
+def wire(graph, scripts):
+    """Build a network with ScriptedProcesses (listeners elsewhere)."""
+    net = RadioNetwork(graph, num_channels=2)
+    procs = {}
+    for node in graph.nodes:
+        proc = ScriptedProcess(node, scripts.get(node))
+        procs[node] = proc
+        net.attach(proc)
+    return net, procs
+
+
+class TestReceptionSemantics:
+    def test_single_transmitter_is_received(self):
+        net, procs = wire(path(3), {0: {0: Transmission("hi")}})
+        net.step()
+        assert procs[1].heard == [(0, 0, "hi")]
+        assert procs[2].heard == []  # out of range
+
+    def test_two_transmitters_collide(self):
+        g = star(3)  # 0 center; 1, 2 leaves
+        net, procs = wire(
+            g, {1: {0: Transmission("a")}, 2: {0: Transmission("b")}}
+        )
+        net.step()
+        assert procs[0].heard == []  # collision, and no detection signal
+
+    def test_collision_is_local_not_global(self):
+        # 1 - 0 - 2 and isolated edge 3 - 4; 1, 2 and 3 transmit.
+        g = Graph.from_edges([(0, 1), (0, 2), (3, 4)])
+        net, procs = wire(
+            g,
+            {
+                1: {0: Transmission("a")},
+                2: {0: Transmission("b")},
+                3: {0: Transmission("c")},
+            },
+        )
+        net.step()
+        assert procs[0].heard == []
+        assert procs[4].heard == [(0, 0, "c")]
+
+    def test_transmitter_does_not_hear_its_own_channel(self):
+        g = path(2)
+        net, procs = wire(
+            g, {0: {0: Transmission("x")}, 1: {0: Transmission("y")}}
+        )
+        net.step()
+        assert procs[0].heard == []
+        assert procs[1].heard == []
+
+    def test_channels_are_independent(self):
+        g = path(2)
+        net, procs = wire(
+            g,
+            {
+                0: {0: Transmission("up", channel=0)},
+                1: {0: Transmission("down", channel=1)},
+            },
+        )
+        net.step()
+        # Each node transmits on one channel and hears the other.
+        assert procs[0].heard == [(0, 1, "down")]
+        assert procs[1].heard == [(0, 0, "up")]
+
+    def test_simultaneous_transmissions_on_two_channels(self):
+        g = path(2)
+        net, procs = wire(
+            g,
+            {
+                0: {
+                    0: [
+                        Transmission("a", channel=0),
+                        Transmission("b", channel=1),
+                    ]
+                }
+            },
+        )
+        net.step()
+        assert sorted(procs[1].heard) == [(0, 0, "a"), (0, 1, "b")]
+
+    def test_reception_requires_exactly_one_even_across_slots(self):
+        g = star(3)
+        net, procs = wire(
+            g,
+            {
+                1: {0: Transmission("a"), 1: Transmission("a2")},
+                2: {0: Transmission("b")},
+            },
+        )
+        net.step()  # slot 0: collision
+        net.step()  # slot 1: only node 1 transmits
+        assert procs[0].heard == [(1, 0, "a2")]
+
+
+class TestEngineValidation:
+    def test_channel_out_of_range(self):
+        net, _ = wire(path(2), {0: {0: Transmission("x", channel=5)}})
+        with pytest.raises(ProtocolError):
+            net.step()
+
+    def test_negative_channel_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Transmission("x", channel=-1)
+
+    def test_double_transmit_same_channel(self):
+        net, _ = wire(
+            path(2),
+            {0: {0: [Transmission("x"), Transmission("y")]}},
+        )
+        with pytest.raises(ProtocolError):
+            net.step()
+
+    def test_attach_unknown_station(self):
+        net = RadioNetwork(path(2))
+        with pytest.raises(ConfigurationError):
+            net.attach(SilentProcess(99))
+
+    def test_step_requires_full_attachment(self):
+        net = RadioNetwork(path(3))
+        net.attach(SilentProcess(0))
+        with pytest.raises(ConfigurationError):
+            net.step()
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioNetwork(path(2), num_channels=0)
+
+
+class TestRunLoop:
+    def test_run_counts_slots(self):
+        net = RadioNetwork(path(2))
+        net.attach_all(SilentProcess)
+        assert net.run(7) == 7
+        assert net.slot == 7
+
+    def test_until_predicate_stops_early(self):
+        net = RadioNetwork(path(2))
+        net.attach_all(SilentProcess)
+        executed = net.run(100, until=lambda n: n.slot >= 5)
+        assert executed == 5
+
+    def test_until_already_true(self):
+        net = RadioNetwork(path(2))
+        net.attach_all(SilentProcess)
+        assert net.run(10, until=lambda n: True) == 0
+
+    def test_timeout_raises(self):
+        net = RadioNetwork(path(2))
+        net.attach_all(SilentProcess)
+        with pytest.raises(SimulationTimeout):
+            net.run(3, until=lambda n: False)
+
+    def test_run_until_done(self):
+        class DoneAfter(Process):
+            def is_done(self):
+                return True
+
+        net = RadioNetwork(path(2))
+        net.attach_all(DoneAfter)
+        assert net.run_until_done(10) == 0
+
+    def test_negative_max_slots(self):
+        net = RadioNetwork(path(2))
+        net.attach_all(SilentProcess)
+        with pytest.raises(ConfigurationError):
+            net.run(-1)
+
+
+class TestStatsAndTrace:
+    def test_counters(self):
+        g = star(3)
+        net, _ = wire(
+            g, {1: {0: Transmission("a")}, 2: {0: Transmission("b")}}
+        )
+        net.step()
+        assert net.stats.transmissions == 2
+        assert net.stats.collisions == 1
+        assert net.stats.deliveries == 0
+        assert net.stats.slots == 1
+
+    def test_delivery_counter(self):
+        net, _ = wire(path(3), {1: {0: Transmission("m")}})
+        net.step()
+        assert net.stats.deliveries == 2  # both path neighbors hear
+
+    def test_trace_events(self):
+        trace = EventTrace()
+        g = star(3)
+        net = RadioNetwork(g, trace=trace)
+        net.attach(ScriptedProcess(0, {}))
+        net.attach(ScriptedProcess(1, {0: Transmission("a")}))
+        net.attach(ScriptedProcess(2, {0: Transmission("b")}))
+        net.step()
+        assert len(trace.transmissions) == 2
+        collisions = trace.collisions
+        assert len(collisions) == 1
+        assert isinstance(collisions[0], CollisionEvent)
+        assert collisions[0].receiver == 0
+        assert set(collisions[0].senders) == {1, 2}
+
+    def test_trace_delivery_records_sender(self):
+        trace = EventTrace()
+        net = RadioNetwork(path(2), trace=trace)
+        net.attach(ScriptedProcess(0, {0: Transmission("z")}))
+        net.attach(ScriptedProcess(1, {}))
+        net.step()
+        deliveries = trace.deliveries
+        assert len(deliveries) == 1
+        event = deliveries[0]
+        assert isinstance(event, DeliverEvent)
+        assert (event.sender, event.receiver, event.payload) == (0, 1, "z")
+
+    def test_trace_max_events(self):
+        trace = EventTrace(max_events=1)
+        net = RadioNetwork(path(3), trace=trace)
+        net.attach(ScriptedProcess(0, {0: Transmission("z")}))
+        net.attach(ScriptedProcess(1, {}))
+        net.attach(ScriptedProcess(2, {}))
+        net.step()
+        assert len(trace) == 1  # recording stopped, counters stay exact
+        assert net.stats.deliveries == 1
+
+
+class TestFailureIntegration:
+    def test_crashed_station_neither_sends_nor_receives(self):
+        g = path(3)
+        net = RadioNetwork(g, failures=PermanentCrashes({1}))
+        net.attach(ScriptedProcess(0, {0: Transmission("m")}))
+        p1 = ScriptedProcess(1, {0: Transmission("x")})
+        net.attach(p1)
+        p2 = ScriptedProcess(2, {})
+        net.attach(p2)
+        net.step()
+        assert p1.heard == []
+        # node 2 hears nothing (its only neighbor, 1, is down)
+        assert p2.heard == []
+        assert net.stats.transmissions == 1  # only node 0 got to transmit
+
+    def test_crashed_station_does_not_cause_collisions(self):
+        g = star(3)
+        net = RadioNetwork(g, failures=PermanentCrashes({2}))
+        net.attach(ScriptedProcess(0, {}))
+        net.attach(ScriptedProcess(1, {0: Transmission("a")}))
+        net.attach(ScriptedProcess(2, {0: Transmission("b")}))
+        center = net.process(0)
+        net.step()
+        assert center.heard == [(0, 0, "a")]

@@ -1,0 +1,72 @@
+"""Tests for the ranking application (§7)."""
+
+import random
+
+import pytest
+
+from repro.core import run_ranking
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Graph,
+    grid,
+    path,
+    random_geometric,
+    reference_bfs_tree,
+    star,
+)
+
+
+def prepared(graph, root):
+    tree = reference_bfs_tree(graph, root)
+    tree.assign_dfs_intervals()
+    return tree
+
+
+def expected_ranks(graph):
+    return {node: i + 1 for i, node in enumerate(sorted(graph.nodes))}
+
+
+class TestRanking:
+    @pytest.mark.parametrize(
+        "graph_factory,root",
+        [
+            (lambda: path(6), 0),
+            (lambda: star(7), 0),
+            (lambda: grid(3, 3), 4),
+            (lambda: random_geometric(14, 0.45, random.Random(2)), 5),
+        ],
+        ids=["path", "star", "grid-midroot", "rgg"],
+    )
+    def test_ranks_are_order_isomorphic(self, graph_factory, root):
+        graph = graph_factory()
+        tree = prepared(graph, root)
+        result = run_ranking(graph, tree, seed=8)
+        assert result.ranks == expected_ranks(graph)
+
+    def test_non_contiguous_ids(self):
+        """Ranks compress arbitrary distinct IDs to 1..n."""
+        g = Graph.from_edges([(10, 50), (50, 7), (7, 42)])
+        tree = reference_bfs_tree(g, 50)
+        tree.assign_dfs_intervals()
+        result = run_ranking(g, tree, seed=1)
+        assert result.ranks == {7: 1, 10: 2, 42: 3, 50: 4}
+
+    def test_collect_precedes_distribution(self):
+        graph = grid(3, 3)
+        tree = prepared(graph, 0)
+        result = run_ranking(graph, tree, seed=3)
+        assert 0 < result.collect_slots <= result.slots
+
+    def test_requires_prepared_tree(self):
+        graph = path(4)
+        tree = reference_bfs_tree(graph, 0)
+        with pytest.raises(ConfigurationError):
+            run_ranking(graph, tree, seed=0)
+
+    def test_deterministic_given_seed(self):
+        graph = star(6)
+        tree = prepared(graph, 0)
+        assert (
+            run_ranking(graph, tree, seed=5).slots
+            == run_ranking(graph, tree, seed=5).slots
+        )

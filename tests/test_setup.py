@@ -1,0 +1,215 @@
+"""Tests for the setup phase: leader election and distributed BFS (§2)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    default_election_rounds,
+    elect_leader,
+    expected_setup_slots,
+    run_leader_election,
+    run_setup,
+)
+from repro.core.bfs import expansion_parameters
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    bfs_levels,
+    complete,
+    grid,
+    path,
+    random_geometric,
+    star,
+)
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path(8),
+            lambda: star(8),
+            lambda: grid(3, 3),
+            lambda: complete(6),
+            lambda: random_geometric(15, 0.4, random.Random(1)),
+        ],
+        ids=["path", "star", "grid", "complete", "rgg"],
+    )
+    def test_unique_leader_is_max_id(self, graph_factory):
+        graph = graph_factory()
+        result = elect_leader(graph, seed=3)
+        assert result.unique
+        assert result.leaders == [max(graph.nodes)]
+        assert result.agreed
+
+    def test_single_station(self):
+        result = run_leader_election(path(1), seed=0)
+        assert result.leaders == [0]
+        assert result.agreed
+
+    def test_true_max_is_always_a_leader(self):
+        """Even an unconverged run keeps the max believing in itself."""
+        graph = path(12)
+        result = run_leader_election(graph, seed=0, rounds=1)
+        assert max(graph.nodes) in result.leaders
+
+    def test_diameter_bound_shrinks_horizon(self):
+        assert default_election_rounds(64, diameter_bound=3) < (
+            default_election_rounds(64)
+        )
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            default_election_rounds(0)
+
+    def test_slots_accumulate_across_attempts(self):
+        graph = grid(3, 3)
+        single = run_leader_election(graph, seed=5)
+        wrapped = elect_leader(graph, seed=5)
+        assert wrapped.slots >= single.slots
+
+
+class TestBfsSetup:
+    @pytest.mark.parametrize(
+        "graph_factory,root",
+        [
+            (lambda: path(8), 0),
+            (lambda: path(8), 4),
+            (lambda: star(9), 0),
+            (lambda: star(9), 3),
+            (lambda: grid(3, 4), 0),
+            (lambda: random_geometric(20, 0.4, random.Random(3)), 7),
+        ],
+        ids=["path0", "path-mid", "star-center", "star-leaf", "grid", "rgg"],
+    )
+    def test_spanning_bfs_tree(self, graph_factory, root):
+        graph = graph_factory()
+        result = run_setup(graph, root=root, seed=11)
+        tree = result.tree
+        assert tree.root == root
+        assert set(tree.nodes) == set(graph.nodes)
+        # Tree edges are graph edges.
+        for child, parent in tree.tree_edges():
+            assert graph.has_edge(child, parent)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_levels_are_true_distances(self, seed):
+        """With 2·log n invocations per stage, failures are ~1/n: the tree
+        is the true BFS tree in essentially every run."""
+        graph = random_geometric(18, 0.42, random.Random(seed))
+        result = run_setup(graph, root=0, seed=seed, require_true_bfs=True)
+        assert result.is_true_bfs
+        assert result.tree.level == bfs_levels(graph, 0)
+
+    def test_single_station(self):
+        result = run_setup(path(1), root=0, seed=0)
+        assert result.tree.num_nodes == 1
+        assert result.slots == 0
+
+    def test_two_stations(self):
+        result = run_setup(path(2), root=1, seed=0)
+        assert result.tree.parent[0] == 1
+        assert result.tree.level[0] == 1
+
+    def test_unknown_root(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_setup(path(3), root=9, seed=0)
+
+    def test_tree_infos_match_tree(self):
+        graph = grid(3, 3)
+        result = run_setup(graph, root=0, seed=2)
+        for node, info in result.tree_infos.items():
+            assert info.parent == result.tree.parent[node]
+            assert info.level == result.tree.level[node]
+            assert info.root == 0
+
+    def test_setup_time_within_las_vegas_budget(self):
+        """Measured slots stay within 2× the §2 reference (per attempt)."""
+        graph = grid(4, 4)
+        levels = bfs_levels(graph, 0)
+        budget = 2 * expected_setup_slots(
+            graph.num_nodes, max(levels.values()), graph.max_degree()
+        )
+        result = run_setup(graph, root=0, seed=6)
+        assert result.slots <= budget * result.attempts
+
+    def test_deterministic_given_seed(self):
+        graph = grid(3, 3)
+        a = run_setup(graph, root=0, seed=9)
+        b = run_setup(graph, root=0, seed=9)
+        assert a.slots == b.slots
+        assert a.tree.parent == b.tree.parent
+
+
+class TestExpansionParameters:
+    def test_budget_matches_paper(self):
+        budget, invocations = expansion_parameters(16, 8)
+        assert budget == 6  # 2·ceil(log2 8)
+        assert invocations == 8  # 2·ceil(log2 16)
+
+    def test_minimums(self):
+        budget, invocations = expansion_parameters(1, 0)
+        assert budget >= 2 and invocations >= 2
+
+
+class TestBitElection:
+    """The bitwise tournament election (the [4]-shaped substitute)."""
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path(12),
+            lambda: star(9),
+            lambda: grid(4, 4),
+            lambda: random_geometric(18, 0.4, random.Random(2)),
+        ],
+        ids=["path", "star", "grid", "rgg"],
+    )
+    def test_unique_leader_and_agreement(self, graph_factory):
+        from repro.core import run_bit_election
+
+        graph = graph_factory()
+        result = run_bit_election(graph, seed=5)
+        assert result.leaders == [max(graph.nodes)]
+        assert result.agreed
+
+    def test_every_station_learns_the_max(self):
+        from repro.core.leader import BitElectionProcess, run_bit_election
+
+        graph = grid(3, 3)
+        result = run_bit_election(graph, seed=7)
+        assert result.true_max == 8
+
+    def test_known_diameter_shrinks_cost(self):
+        from repro.core import run_bit_election
+
+        graph = star(16)
+        loose = run_bit_election(graph, seed=1)
+        tight = run_bit_election(graph, seed=1, diameter_bound=2)
+        assert tight.slots < loose.slots
+        assert tight.leaders == loose.leaders == [15]
+
+    def test_single_station(self):
+        from repro.core import run_bit_election
+
+        result = run_bit_election(path(1), seed=0)
+        assert result.leaders == [0]
+
+    def test_non_integer_ids_rejected(self):
+        from repro.core import run_bit_election
+        from repro.graphs import Graph
+
+        graph = Graph.from_edges([("a", "b")])
+        with pytest.raises(ConfigurationError):
+            run_bit_election(graph, seed=0)
+
+    def test_cost_scales_with_id_bits(self):
+        from repro.core import run_bit_election
+
+        graph = path(8)
+        narrow = run_bit_election(graph, seed=3)  # ids < 8 -> 3 bits
+        wide = run_bit_election(graph, seed=3, id_bits=12)
+        assert wide.slots == 4 * narrow.slots
+        assert wide.leaders == narrow.leaders

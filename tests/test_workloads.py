@@ -1,0 +1,267 @@
+"""Tests for arrival processes and the streaming collection driver."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationTimeout
+from repro.graphs import path, reference_bfs_tree, star
+from repro.workloads import (
+    BernoulliArrivals,
+    BurstArrivals,
+    DeterministicSchedule,
+    run_streaming_collection,
+)
+
+
+class TestArrivalProcesses:
+    def test_deterministic_schedule(self):
+        schedule = DeterministicSchedule(
+            [(0, 3, "a"), (5, 2, "b"), (5, 3, "c")]
+        )
+        assert schedule.arrivals_at(0) == [(3, "a")]
+        assert schedule.arrivals_at(5) == [(2, "b"), (3, "c")]
+        assert schedule.arrivals_at(1) == []
+
+    def test_deterministic_negative_slot(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicSchedule([(-1, 0, "x")])
+
+    def test_bernoulli_rate(self):
+        arrivals = BernoulliArrivals(
+            sources=range(10),
+            rate=0.3,
+            phase_length=4,
+            rng=random.Random(1),
+        )
+        total = 0
+        phases = 600
+        for slot in range(4 * phases):
+            batch = arrivals.arrivals_at(slot)
+            if slot % 4 != 0:
+                assert batch == []
+            total += len(batch)
+        # 10 sources × 600 phases × 0.3
+        assert total == pytest.approx(1800, rel=0.1)
+
+    def test_bernoulli_payloads_unique(self):
+        arrivals = BernoulliArrivals(
+            sources=range(5), rate=0.8, phase_length=1, rng=random.Random(2)
+        )
+        payloads = [
+            payload
+            for slot in range(50)
+            for _source, payload in arrivals.arrivals_at(slot)
+        ]
+        assert len(payloads) == len(set(payloads))
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliArrivals([], 1.5, 1, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            BernoulliArrivals([], 0.5, 0, random.Random(0))
+
+    def test_burst_pattern(self):
+        arrivals = BurstArrivals(sources=[1, 2], period=10, bursts=2)
+        assert len(arrivals.arrivals_at(0)) == 2
+        assert arrivals.arrivals_at(5) == []
+        assert len(arrivals.arrivals_at(10)) == 2
+        assert arrivals.arrivals_at(20) == []  # bursts exhausted
+
+
+class TestStreamingDriver:
+    def test_all_arrivals_delivered_with_latencies(self):
+        graph = path(6)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule(
+            [(0, 5, "a"), (40, 3, "b"), (80, 5, "c")]
+        )
+        result = run_streaming_collection(
+            graph, tree, schedule, seed=3, horizon_slots=100
+        )
+        assert result.submitted == 3
+        assert result.delivered == 3
+        assert result.delivery_ratio == 1.0
+        for record in result.records:
+            assert record.latency is not None and record.latency > 0
+
+    def test_latency_measured_from_submission(self):
+        graph = path(4)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule([(50, 3, "late")])
+        result = run_streaming_collection(
+            graph, tree, schedule, seed=1, horizon_slots=60
+        )
+        record = result.records[0]
+        assert record.submitted_slot == 50
+        assert record.delivered_slot > 50
+        assert record.latency == record.delivered_slot - 50
+
+    def test_root_submission_has_zero_latency(self):
+        graph = path(3)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule([(7, 0, "self")])
+        result = run_streaming_collection(
+            graph, tree, schedule, seed=0, horizon_slots=10
+        )
+        assert result.records[0].latency == 0
+
+    def test_no_drain_leaves_messages_in_flight(self):
+        graph = path(10)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule([(0, 9, "x")])
+        result = run_streaming_collection(
+            graph, tree, schedule, seed=2, horizon_slots=5, drain=False
+        )
+        assert result.delivered == 0
+        assert result.delivery_ratio == 0.0
+
+    def test_drain_budget_timeout(self):
+        graph = path(10)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule([(0, 9, "x")])
+        with pytest.raises(SimulationTimeout):
+            run_streaming_collection(
+                graph,
+                tree,
+                schedule,
+                seed=2,
+                horizon_slots=1,
+                drain=True,
+                drain_budget=3,
+            )
+
+    def test_unknown_source_rejected(self):
+        graph = path(3)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule([(0, 99, "x")])
+        with pytest.raises(ConfigurationError):
+            run_streaming_collection(
+                graph, tree, schedule, seed=0, horizon_slots=2
+            )
+
+    def test_sustained_bernoulli_stream_is_stable_below_mu(self):
+        """Offered load well under the service rate: everything delivered,
+        latencies stay bounded (no queue blow-up)."""
+        graph = star(8)
+        tree = reference_bfs_tree(graph, 0)
+        from repro.core.slots import SlotStructure, decay_budget
+
+        phase_length = SlotStructure(
+            decay_budget(graph.max_degree()), 3, True
+        ).phase_length
+        arrivals = BernoulliArrivals(
+            sources=[n for n in graph.nodes if n != 0],
+            rate=0.02,  # aggregate 0.14/phase « µ
+            phase_length=phase_length,
+            rng=random.Random(5),
+        )
+        result = run_streaming_collection(
+            graph, tree, arrivals, seed=6, horizon_slots=300 * phase_length
+        )
+        assert result.delivery_ratio == 1.0
+        assert result.submitted > 10
+        # Mean sojourn in phases is small: the system is far from the knee.
+        assert result.mean_latency_phases(phase_length) < 10
+
+
+class TestStreamingP2p:
+    def test_routed_stream_delivers_with_latency(self):
+        from repro.workloads import run_streaming_p2p
+
+        graph = path(8)
+        tree = reference_bfs_tree(graph, 0)
+        tree.assign_dfs_intervals()
+        schedule = DeterministicSchedule(
+            [(0, 7, "a"), (30, 2, "b"), (60, 7, "c")]
+        )
+        destinations = {"a": 0, "b": 6, "c": 3}
+        result = run_streaming_p2p(
+            graph,
+            tree,
+            schedule,
+            destination_of=lambda src, payload: destinations[payload],
+            seed=4,
+            horizon_slots=80,
+        )
+        assert result.delivered == 3
+        assert all(r.latency is not None for r in result.records)
+
+    def test_unknown_destination_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.workloads import run_streaming_p2p
+
+        graph = path(4)
+        tree = reference_bfs_tree(graph, 0)
+        tree.assign_dfs_intervals()
+        schedule = DeterministicSchedule([(0, 3, "x")])
+        with pytest.raises(ConfigurationError):
+            run_streaming_p2p(
+                graph,
+                tree,
+                schedule,
+                destination_of=lambda s, p: 99,
+                seed=0,
+                horizon_slots=2,
+            )
+
+    def test_hotspot_workload(self):
+        """Everyone streams to one destination; all messages arrive."""
+        from repro.workloads import run_streaming_p2p
+
+        graph = star(6)
+        tree = reference_bfs_tree(graph, 0)
+        tree.assign_dfs_intervals()
+        events = [(10 * i, 1 + (i % 5), f"m{i}") for i in range(10)]
+        schedule = DeterministicSchedule(
+            [(s, src, p) for s, src, p in events if src != 5]
+        )
+        result = run_streaming_p2p(
+            graph,
+            tree,
+            schedule,
+            destination_of=lambda s, p: 5,
+            seed=2,
+            horizon_slots=120,
+        )
+        assert result.delivery_ratio == 1.0
+
+
+class TestStreamingBroadcast:
+    def test_streamed_broadcasts_reach_everyone(self):
+        from repro.workloads import run_streaming_broadcast
+
+        graph = path(5)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule(
+            [(0, 4, "b0"), (100, 2, "b1")]
+        )
+        result = run_streaming_broadcast(
+            graph, tree, schedule, seed=3, horizon_slots=150
+        )
+        assert result.delivered_everywhere == 2
+        assert result.mean_latency > 0
+
+    def test_latency_counted_from_submission(self):
+        from repro.workloads import run_streaming_broadcast
+
+        graph = path(4)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule([(40, 3, "late")])
+        result = run_streaming_broadcast(
+            graph, tree, schedule, seed=1, horizon_slots=60
+        )
+        record = result.records[0]
+        assert record.submitted_slot == 40
+        assert record.everywhere_slot > 40
+
+
+class TestStreamingWithSingleClass:
+    def test_level_classes_one_also_streams(self):
+        graph = path(6)
+        tree = reference_bfs_tree(graph, 0)
+        schedule = DeterministicSchedule([(0, 5, "a"), (20, 4, "b")])
+        result = run_streaming_collection(
+            graph, tree, schedule, seed=3, horizon_slots=40, level_classes=1
+        )
+        assert result.delivered == 2
