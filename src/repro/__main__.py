@@ -10,6 +10,10 @@ Commands
     Measure the §8-remark-(5) root congestion on a deep network.
 ``map [seed]``
     Draw a positioned unit-disk field with BFS levels as symbols.
+``resilience [seed]``
+    Run collection under the standard fault scenarios (churn, fading,
+    jamming, blackout, partition) and report delivery ratio, slowdown
+    vs. the failure-free baseline, repairs and partition detection.
 ``experiments``
     List the experiment registry (id, claim, bench file).
 ``validate``
@@ -109,6 +113,31 @@ def _cmd_map(seed: int) -> None:
     )
 
 
+def _cmd_resilience(seed: int) -> None:
+    from repro.analysis import resilience_table, run_resilience_suite
+    from repro.graphs import diameter, layered_band, reference_bfs_tree
+
+    graph = layered_band(6, 3)
+    tree = reference_bfs_tree(graph, 0)
+    deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
+    mid = next(v for v in tree.nodes if tree.level[v] == tree.depth // 2)
+    sources = {deepest: [f"m{i}" for i in range(4)], mid: ["n0", "n1"]}
+    print(
+        f"n={graph.num_nodes} D={diameter(graph)} Δ={graph.max_degree()} "
+        f"depth={tree.depth}  sources={{"
+        f"{deepest}: 4 msgs, {mid}: 2 msgs}}"
+    )
+    reports = run_resilience_suite(
+        graph, tree, sources, seed=seed, down_grace_slots=2_000
+    )
+    print(resilience_table(reports))
+    print(
+        "(ratio = delivered/injected; reachable = delivered/expected from "
+        "the root's surviving component;\n part P/R = partition detection "
+        "precision/recall among alive stations)"
+    )
+
+
 def _cmd_info() -> None:
     import repro
     from repro.core import LAMBDA_STAR, MU, theorem_44_constant
@@ -135,6 +164,8 @@ def main(argv: list) -> int:
         _cmd_congestion(seed)
     elif command == "map":
         _cmd_map(seed)
+    elif command == "resilience":
+        _cmd_resilience(seed)
     elif command == "experiments":
         from repro.analysis.experiments import registry_table
 

@@ -18,6 +18,14 @@ from repro.analysis.sweep import (
     standard_topologies,
     sweep,
 )
+from repro.analysis.resilience import (
+    FaultScenario,
+    ResilienceReport,
+    evaluate_scenario,
+    resilience_table,
+    run_resilience_suite,
+    standard_scenarios,
+)
 from repro.analysis.tables import format_table, print_table
 from repro.analysis.timeline import (
     CongestionProfile,
@@ -30,12 +38,15 @@ from repro.analysis.timeline import (
 __all__ = [
     "CongestionProfile",
     "Experiment",
+    "FaultScenario",
     "REGISTRY",
     "ReplicatedMeasurement",
+    "ResilienceReport",
     "Summary",
     "TopologyPoint",
     "Timeline",
     "congestion_profile",
+    "evaluate_scenario",
     "format_table",
     "geometric_pmf",
     "linear_fit",
@@ -45,7 +56,10 @@ __all__ = [
     "render_timeline",
     "replicate",
     "replicated",
+    "resilience_table",
+    "run_resilience_suite",
     "scaling_exponent",
+    "standard_scenarios",
     "standard_topologies",
     "by_id",
     "registry_table",

@@ -138,6 +138,13 @@ REGISTRY: List[Experiment] = [
         "bench_saturation.py",
         ("repro.workloads",),
     ),
+    Experiment(
+        "E16",
+        "self-healing collection under churn, fading, jamming, partition",
+        "beyond the model (§1.1 relaxed)",
+        "bench_resilience.py",
+        ("repro.core.repair", "repro.analysis.resilience"),
+    ),
 ]
 
 

@@ -1,0 +1,256 @@
+"""The resilience harness: collection/broadcast under parameterized faults.
+
+Quantifies exactly how load-bearing the paper's failure-free model is:
+each :class:`FaultScenario` names a failure model builder; the harness
+runs self-healing collection (:mod:`repro.core.repair`) under it and
+reports delivery ratio, completion-time inflation versus the failure-free
+baseline, repair count, and partition-detection accuracy — the numbers
+behind the "Beyond the model" sections of the docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.repair import (
+    RepairPolicy,
+    ResilientCollectionResult,
+    run_resilient_collection,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.bfs_tree import BFSTree
+from repro.graphs.graph import Graph, NodeId
+from repro.radio.failures import (
+    AdversarialJammer,
+    FailureModel,
+    GilbertElliott,
+    MarkovChurn,
+    RegionOutage,
+)
+
+#: A scenario builder: (graph, tree, seed) -> failure model (None = no faults).
+ScenarioBuilder = Callable[[Graph, BFSTree, int], Optional[FailureModel]]
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, parameterized fault injection recipe."""
+
+    name: str
+    description: str
+    build: ScenarioBuilder
+
+
+@dataclass
+class ResilienceReport:
+    """One scenario's outcome next to the failure-free baseline."""
+
+    scenario: str
+    result: ResilientCollectionResult
+    baseline_slots: int
+
+    @property
+    def slots(self) -> int:
+        return self.result.slots
+
+    @property
+    def slowdown(self) -> float:
+        """Completion-time inflation vs. the failure-free run."""
+        if self.baseline_slots == 0:
+            return 1.0
+        return self.result.slots / self.baseline_slots
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.result.delivery_ratio
+
+    @property
+    def reachable_delivery_ratio(self) -> float:
+        return self.result.reachable_delivery_ratio
+
+    @property
+    def repairs(self) -> int:
+        return len(self.result.repairs)
+
+
+def _interior_nodes(tree: BFSTree) -> List[NodeId]:
+    """Non-root stations with BFS children (crashing one hurts a subtree)."""
+    return [
+        node
+        for node in tree.nodes
+        if node != tree.root and tree.children[node]
+    ]
+
+
+def standard_scenarios(
+    churn_fail: float = 0.002,
+    churn_recover: float = 0.01,
+    fade_p_bad: float = 0.02,
+    fade_p_good: float = 0.2,
+    jam_period: int = 24,
+    jam_duty: int = 6,
+) -> List[FaultScenario]:
+    """The default scenario battery (plus the implicit 'none' baseline).
+
+    * ``churn`` — every non-root interior station churns (Markov up/down);
+    * ``fading`` — Gilbert–Elliott bursty loss on every link;
+    * ``jammer`` — a duty-cycled wideband jammer over the whole network;
+    * ``blackout`` — the busiest interior station and its subtree go dark
+      for a window mid-run, then recover;
+    * ``partition`` — one interior station crashes forever at slot 0,
+      severing its subtree wherever the graph offers no detour.
+    """
+
+    def churn(graph: Graph, tree: BFSTree, seed: int):
+        interior = _interior_nodes(tree)
+        if not interior:
+            return None
+        return MarkovChurn(
+            interior, fail_rate=churn_fail, recover_rate=churn_recover,
+            seed=seed,
+        )
+
+    def fading(graph: Graph, tree: BFSTree, seed: int):
+        return GilbertElliott(
+            p_bad=fade_p_bad, p_good=fade_p_good, seed=seed
+        )
+
+    def jammer(graph: Graph, tree: BFSTree, seed: int):
+        return AdversarialJammer(period=jam_period, duty=jam_duty)
+
+    def blackout(graph: Graph, tree: BFSTree, seed: int):
+        interior = _interior_nodes(tree)
+        if not interior:
+            return None
+        victim = max(interior, key=lambda v: (tree.subtree_size(v), v))
+        span = tuple(tree.subtree(victim))
+        window = 40 * len(span)
+        return RegionOutage(span, start=window, end=2 * window)
+
+    def partition(graph: Graph, tree: BFSTree, seed: int):
+        interior = _interior_nodes(tree)
+        if not interior:
+            return None
+        victim = max(interior, key=lambda v: (tree.subtree_size(v), v))
+        return RegionOutage([victim], start=0, end=None)
+
+    return [
+        FaultScenario("churn", "Markov churn on interior stations", churn),
+        FaultScenario("fading", "Gilbert-Elliott bursty link loss", fading),
+        FaultScenario("jammer", "duty-cycled wideband jammer", jammer),
+        FaultScenario("blackout", "transient subtree outage", blackout),
+        FaultScenario("partition", "permanent crash of a cut station", partition),
+    ]
+
+
+def evaluate_scenario(
+    graph: Graph,
+    tree: BFSTree,
+    sources: Dict[NodeId, List[Any]],
+    scenario: FaultScenario,
+    seed: int,
+    policy: Optional[RepairPolicy] = None,
+    max_slots: Optional[int] = None,
+    down_grace_slots: Optional[int] = 2_000,
+    baseline_slots: Optional[int] = None,
+) -> ResilienceReport:
+    """Run one scenario and score it against the failure-free baseline.
+
+    The baseline runs the *same* resilient stack with no failure model, so
+    the slowdown isolates the cost of the faults (and repairs) rather than
+    the cost of the hardening machinery.  Pass ``baseline_slots`` to reuse
+    a baseline across scenarios.
+    """
+    if baseline_slots is None:
+        baseline = run_resilient_collection(
+            graph, tree, sources, seed, failures=None, policy=policy,
+            max_slots=max_slots,
+        )
+        baseline_slots = baseline.slots
+    result = run_resilient_collection(
+        graph,
+        tree,
+        sources,
+        seed,
+        failures=scenario.build(graph, tree, seed),
+        policy=policy,
+        max_slots=max_slots,
+        down_grace_slots=down_grace_slots,
+    )
+    return ResilienceReport(
+        scenario=scenario.name, result=result, baseline_slots=baseline_slots
+    )
+
+
+def run_resilience_suite(
+    graph: Graph,
+    tree: BFSTree,
+    sources: Dict[NodeId, List[Any]],
+    seed: int,
+    scenarios: Optional[Sequence[FaultScenario]] = None,
+    policy: Optional[RepairPolicy] = None,
+    max_slots: Optional[int] = None,
+    down_grace_slots: Optional[int] = 2_000,
+) -> List[ResilienceReport]:
+    """Evaluate a battery of scenarios against one shared baseline."""
+    if not sources:
+        raise ConfigurationError("resilience suite needs at least one source")
+    scenarios = list(
+        standard_scenarios() if scenarios is None else scenarios
+    )
+    baseline = run_resilient_collection(
+        graph, tree, sources, seed, failures=None, policy=policy,
+        max_slots=max_slots,
+    )
+    return [
+        evaluate_scenario(
+            graph,
+            tree,
+            sources,
+            scenario,
+            seed,
+            policy=policy,
+            max_slots=max_slots,
+            down_grace_slots=down_grace_slots,
+            baseline_slots=baseline.slots,
+        )
+        for scenario in scenarios
+    ]
+
+
+def resilience_table(reports: Sequence[ResilienceReport]) -> str:
+    """Render the suite's headline numbers as one ASCII table."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for report in reports:
+        result = report.result
+        rows.append(
+            [
+                report.scenario,
+                f"{result.messages_delivered}/{result.expected}",
+                f"{report.delivery_ratio:.2f}",
+                f"{report.reachable_delivery_ratio:.2f}",
+                f"{report.slowdown:.2f}x",
+                report.repairs,
+                len(result.declared_partitioned),
+                f"{result.partition_precision:.2f}/{result.partition_recall:.2f}",
+                "yes" if result.timed_out else "no",
+            ]
+        )
+    return format_table(
+        [
+            "scenario",
+            "delivered",
+            "ratio",
+            "reachable",
+            "slowdown",
+            "repairs",
+            "declared",
+            "part P/R",
+            "timeout",
+        ],
+        rows,
+        title="Resilience: collection under injected faults",
+    )

@@ -24,7 +24,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.messages import AckMessage, DataMessage
 from repro.core.slots import SlotStructure, decay_budget
-from repro.core.transport import TransportLane
+from repro.core.transport import RetryPolicy, TransportLane
 from repro.core.tree import TreeInfo, tree_info_from_bfs_tree
 from repro.errors import ConfigurationError
 from repro.graphs.bfs_tree import BFSTree
@@ -61,10 +61,14 @@ class CollectionProcess(Process):
         initial_payloads: Iterable[Any] = (),
         channel: int = UP_CHANNEL,
         strict: bool = True,
+        retry: Optional[RetryPolicy] = None,
     ):
         super().__init__(info.node_id)
         self.info = info
         self.slots = slots
+        # The current next hop for upward traffic: the BFS parent, until a
+        # repair layer (core/repair.py) re-attaches this station elsewhere.
+        self.parent = info.parent
         self.lane = TransportLane(
             node_id=info.node_id,
             level=info.level,
@@ -72,6 +76,7 @@ class CollectionProcess(Process):
             rng=rng,
             channel=channel,
             strict=strict,
+            retry=retry,
         )
         self.channel = channel
         self.delivered: List[DataMessage] = []  # root only
@@ -95,7 +100,7 @@ class CollectionProcess(Process):
             msg_id=msg_id,
             origin=self.info.node_id,
             hop_sender=self.info.node_id,
-            hop_dest=self.info.parent,
+            hop_dest=self.parent,
             dest_address=None,
             payload=payload,
         )
@@ -125,7 +130,7 @@ class CollectionProcess(Process):
                 self.delivered.append(payload)
             else:
                 self.lane.enqueue(
-                    payload.rehop(self.info.node_id, self.info.parent),
+                    payload.rehop(self.info.node_id, self.parent),
                     received_at_slot=slot,
                 )
         elif isinstance(payload, AckMessage):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Deque, Optional, Set, Tuple
 
 try:  # Protocol is typing-only; keep 3.9 compatibility simple.
@@ -37,9 +38,47 @@ class SessionLike(_Protocol):
         ...
 from repro.core.messages import AckMessage, DataMessage
 from repro.core.slots import SlotStructure
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.graphs.graph import NodeId
 from repro.radio.transmission import Transmission
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-message retry budget with exponential backoff between phases.
+
+    The paper's transport retries the buffer head every phase forever —
+    correct in the failure-free model, a livelock once the next hop can
+    crash.  With a policy attached, a :class:`TransportLane` counts the
+    phases it has attempted its current head without an acknowledgement
+    (``head_attempts``); after attempt *k* it sits out
+    ``min(backoff_cap, 2^(k-1) - 1)`` phases before retrying, and after
+    ``max_attempts`` attempts it stops transmitting that message
+    (``head_exhausted``) so the repair layer can re-route or give up
+    instead of jamming the channel forever.
+
+    ``max_attempts=None`` keeps retrying indefinitely (backoff still
+    applies) — the right setting when a watchdog above the lane handles
+    failover, as :class:`~repro.core.repair.ResilientCollectionProcess`
+    does.
+    """
+
+    max_attempts: Optional[int] = None
+    backoff_cap: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1 or None, got {self.max_attempts}"
+            )
+        if self.backoff_cap < 0:
+            raise ConfigurationError(
+                f"backoff_cap must be >= 0, got {self.backoff_cap}"
+            )
+
+    def backoff_phases(self, attempt: int) -> int:
+        """Phases to sit out after the ``attempt``-th failed attempt."""
+        return min(self.backoff_cap, (1 << (attempt - 1)) - 1)
 
 
 class TransportLane:
@@ -69,12 +108,14 @@ class TransportLane:
         channel: int,
         strict: bool = True,
         session_factory: Optional[Callable[[], "SessionLike"]] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.node_id = node_id
         self.level = level
         self.slots = slots
         self.channel = channel
         self.strict = strict
+        self.retry = retry
         self._rng = rng
         # The per-phase retransmission policy: the paper's Decay by
         # default; ablations (E12) plug in alternatives such as ALOHA.
@@ -95,10 +136,21 @@ class TransportLane:
         self._head: Optional[DataMessage] = None
         self._pending_ack: Optional[Tuple[int, AckMessage]] = None
         self._accepted_ids: Set[Tuple[NodeId, int]] = set()
+        # Retry/backoff state for the current head (only used with a
+        # retry policy; see RetryPolicy).
+        self._attempt_msg_id: Optional[Tuple[NodeId, int]] = None
+        self._attempt_phase = -1
+        self._backoff_until_phase = 0
+        self.head_attempts = 0
+        self.head_exhausted = False
+        # A muted lane does ack duty but never transmits data — set by the
+        # repair layer when this station has given up (partition).
+        self.muted = False
         # Counters for experiments.
         self.data_transmissions = 0
         self.ack_transmissions = 0
         self.duplicates_seen = 0
+        self.retargets = 0
 
     # ------------------------------------------------------------------
     # Sending side
@@ -146,7 +198,7 @@ class TransportLane:
                 # injection): the ack is lost, like any other transmission
                 # of a crashed station.
                 self._pending_ack = None
-        if not self.buffer:
+        if not self.buffer or self.muted:
             return None
         if not self.slots.is_data_slot_for(slot, self.level):
             return None
@@ -155,18 +207,85 @@ class TransportLane:
             # A new phase begins: nodes whose buffer is non-empty at the
             # beginning of the phase invoke Decay for the buffer head (§4.1).
             self._session_phase = info.phase
+            self._session = None
+            self._head = None
             if self._earliest_phase[0] <= info.phase:
-                self._session = self._session_factory()
-                self._head = self.buffer[0]
-            else:
-                # Head arrived mid-phase: sit this phase out.
-                self._session = None
-                self._head = None
+                if self.retry is None:
+                    self._session = self._session_factory()
+                    self._head = self.buffer[0]
+                else:
+                    self._start_attempt(info.phase)
+            # else: head arrived mid-phase, sit this phase out.
         if self._session is not None and self._session.should_transmit():
             self.data_transmissions += 1
             assert self._head is not None
             return Transmission(self._head, self.channel)
         return None
+
+    def _start_attempt(self, phase: int) -> None:
+        """Retry-policy gate at a phase boundary: maybe attempt the head."""
+        assert self.retry is not None
+        head = self.buffer[0]
+        if head.msg_id != self._attempt_msg_id:
+            # Fresh head: reset the per-message retry state.
+            self._attempt_msg_id = head.msg_id
+            self.head_attempts = 0
+            self._backoff_until_phase = 0
+            self.head_exhausted = False
+        if self.head_exhausted or phase < self._backoff_until_phase:
+            return
+        if (
+            self.retry.max_attempts is not None
+            and self.head_attempts >= self.retry.max_attempts
+        ):
+            self.head_exhausted = True
+            return
+        self.head_attempts += 1
+        self._attempt_phase = phase
+        self._backoff_until_phase = (
+            phase + 1 + self.retry.backoff_phases(self.head_attempts)
+        )
+        self._session = self._session_factory()
+        self._head = head
+
+    def failed_attempts(self, slot: int) -> int:
+        """Completed, unacknowledged attempts for the current head.
+
+        An attempt spans one Decay phase (its ack, if any, arrives within
+        that same phase); an attempt whose phase is over without the head
+        being acknowledged has therefore failed.  This is the watchdog's
+        input: N failed attempts ⇒ suspect the next hop.
+        """
+        if self._attempt_msg_id is None:
+            return 0
+        if self.slots.phase_of(slot) > self._attempt_phase:
+            return self.head_attempts
+        return max(0, self.head_attempts - 1)
+
+    def retarget(self, new_dest: NodeId, new_level: Optional[int] = None) -> None:
+        """Re-address all buffered traffic to a new next hop.
+
+        Called by the repair layer after a parent switch: every buffered
+        message is re-hopped to ``new_dest``, the in-flight session is
+        killed, and the per-message retry state is reset so the new parent
+        gets a full retry budget.  ``new_level`` renumbers this station's
+        BFS level (which selects its data slots).
+        """
+        self.buffer = deque(
+            message.rehop(self.node_id, new_dest) for message in self.buffer
+        )
+        if new_level is not None:
+            self.level = new_level
+        if self._session is not None:
+            self._session.kill()
+        self._session = None
+        self._head = None
+        self._attempt_msg_id = None
+        self._attempt_phase = -1
+        self.head_attempts = 0
+        self._backoff_until_phase = 0
+        self.head_exhausted = False
+        self.retargets += 1
 
     # ------------------------------------------------------------------
     # Receiving side
@@ -221,6 +340,10 @@ class TransportLane:
         if self.buffer and self.buffer[0].msg_id == ack.msg_id:
             self.buffer.popleft()
             self._earliest_phase.popleft()
+            self._attempt_msg_id = None
+            self.head_attempts = 0
+            self._backoff_until_phase = 0
+            self.head_exhausted = False
             if self._head is not None and self._head.msg_id == ack.msg_id:
                 self._head = None
                 if self._session is not None:
@@ -243,3 +366,15 @@ class TransportLane:
     def idle(self) -> bool:
         """No buffered traffic and no ack duty outstanding."""
         return not self.buffer and self._pending_ack is None
+
+    def quiescent(self, slot: int) -> bool:
+        """Like :attr:`idle`, but a stale ack duty does not count.
+
+        A station that crashed holding a scheduled ack keeps it frozen
+        until revival; once ``slot`` has passed the ack's due slot the
+        duty can never fire, so for termination detection the lane is as
+        good as idle.
+        """
+        if self.buffer:
+            return False
+        return self._pending_ack is None or self._pending_ack[0] < slot

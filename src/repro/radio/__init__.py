@@ -1,11 +1,16 @@
 """Slot-synchronous multi-hop radio-network simulator (the model of §1.1)."""
 
 from repro.radio.failures import (
+    AdversarialJammer,
     BernoulliLinkLoss,
     ComposedFailures,
     CrashSchedule,
     FailureModel,
+    GilbertElliott,
+    MarkovChurn,
     PermanentCrashes,
+    RegionOutage,
+    subtree_outage,
 )
 from repro.radio.multiplex import (
     TimeDivisionProcess,
@@ -25,6 +30,7 @@ from repro.radio.trace import (
     ChannelStats,
     CollisionEvent,
     DeliverEvent,
+    DropEvent,
     EventTrace,
     NetworkStats,
     TransmitEvent,
@@ -37,6 +43,7 @@ from repro.radio.transmission import (
 )
 
 __all__ = [
+    "AdversarialJammer",
     "BernoulliLinkLoss",
     "ChannelStats",
     "CollisionEvent",
@@ -45,10 +52,14 @@ __all__ = [
     "DEFAULT_CHANNEL",
     "DOWN_CHANNEL",
     "DeliverEvent",
+    "DropEvent",
     "EventTrace",
     "FailureModel",
+    "GilbertElliott",
+    "MarkovChurn",
     "NetworkStats",
     "PermanentCrashes",
+    "RegionOutage",
     "Process",
     "RadioNetwork",
     "ScriptedProcess",
@@ -64,4 +75,5 @@ __all__ = [
     "UP_CHANNEL",
     "logical_slots",
     "multiplex_network",
+    "subtree_outage",
 ]

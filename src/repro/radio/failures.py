@@ -107,3 +107,30 @@ class ComposedFailures(FailureModel):
 def no_failures() -> Optional[FailureModel]:
     """The default failure model (None short-circuits engine checks)."""
     return None
+
+
+# Richer models (churn, fading, regional outages, jamming) live in the
+# repro.radio.faults package; re-exported here so callers have one import
+# site for everything that plugs into RadioNetwork(failures=...).  This
+# import must stay below the base classes the faults package builds on.
+from repro.radio.faults import (  # noqa: E402
+    AdversarialJammer,
+    GilbertElliott,
+    MarkovChurn,
+    RegionOutage,
+    subtree_outage,
+)
+
+__all__ = [
+    "AdversarialJammer",
+    "BernoulliLinkLoss",
+    "ComposedFailures",
+    "CrashSchedule",
+    "FailureModel",
+    "GilbertElliott",
+    "MarkovChurn",
+    "PermanentCrashes",
+    "RegionOutage",
+    "no_failures",
+    "subtree_outage",
+]

@@ -1,0 +1,34 @@
+"""Richer failure models for robustness experiments.
+
+The base hierarchy (:class:`~repro.radio.failures.FailureModel` and the
+scripted/Bernoulli models) lives in :mod:`repro.radio.failures`; this
+package adds the stochastic and adversarial models used by the
+fault-tolerance layer and the resilience harness:
+
+* :class:`MarkovChurn` — stations crash and recover as independent
+  two-state Markov chains (mean up/down times set by the rates);
+* :class:`GilbertElliott` — bursty link fading: each directed link is a
+  good/bad two-state chain with state-dependent loss probabilities;
+* :class:`RegionOutage` — a whole set of stations goes dark for a slot
+  window (models a regional power cut or a partition-inducing outage);
+* :class:`AdversarialJammer` — a duty-cycled jammer that blanks every
+  reception at targeted stations during its jam windows.
+
+All stochastic models are seeded through the repo's RNG discipline
+(:func:`repro.rng.derive_seed`): per-node and per-link streams are derived
+from a single seed via stable keys, so results are reproducible and
+independent of the order in which the engine queries the model.
+"""
+
+from repro.radio.faults.churn import MarkovChurn
+from repro.radio.faults.fading import GilbertElliott
+from repro.radio.faults.jammer import AdversarialJammer
+from repro.radio.faults.regional import RegionOutage, subtree_outage
+
+__all__ = [
+    "AdversarialJammer",
+    "GilbertElliott",
+    "MarkovChurn",
+    "RegionOutage",
+    "subtree_outage",
+]

@@ -1,0 +1,101 @@
+"""Churn with recovery: independent per-station up/down Markov chains."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import NodeId
+from repro.radio.failures import FailureModel
+from repro.rng import derive_seed
+
+
+class MarkovChurn(FailureModel):
+    """Stations crash and recover as independent two-state Markov chains.
+
+    Each eligible station is, in every slot, either *up* or *down*; an up
+    station goes down with probability ``fail_rate`` at the next slot and
+    a down station comes back with probability ``recover_rate`` — i.e.
+    geometric up-times with mean ``1/fail_rate`` and down-times with mean
+    ``1/recover_rate``.  A recovered station resumes its process with the
+    state it crashed with (the engine simply stops delivering callbacks
+    while it is down), which is exactly the "crash-recovery with stable
+    storage" failure model.
+
+    Parameters
+    ----------
+    nodes:
+        The stations subject to churn; stations not listed (typically the
+        root) never fail.
+    fail_rate / recover_rate:
+        Per-slot transition probabilities (0 disables the transition).
+    seed:
+        Root seed; each station's chain draws from its own derived stream
+        (``derive_seed(seed, "churn", node)``) so the realization does not
+        depend on the order in which the engine queries stations.
+    start_down:
+        Stations that begin in the down state (default: all start up).
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        fail_rate: float,
+        recover_rate: float,
+        seed: int,
+        start_down: Iterable[NodeId] = (),
+    ):
+        for name, rate in (("fail_rate", fail_rate), ("recover_rate", recover_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0,1], got {rate}"
+                )
+        self.nodes: FrozenSet[NodeId] = frozenset(nodes)
+        unknown_down = set(start_down) - self.nodes
+        if unknown_down:
+            raise ConfigurationError(
+                f"start_down stations not subject to churn: "
+                f"{sorted(map(repr, unknown_down))}"
+            )
+        self.fail_rate = fail_rate
+        self.recover_rate = recover_rate
+        self.seed = seed
+        self._down: Dict[NodeId, bool] = {
+            node: node in set(start_down) for node in self.nodes
+        }
+        self._rng: Dict[NodeId, random.Random] = {
+            node: random.Random(derive_seed(seed, "churn", node))
+            for node in self.nodes
+        }
+        # Slot up to which each chain has been advanced (state applies to
+        # slots <= this value; queries must be non-decreasing per node,
+        # which the slot-synchronous engine guarantees).
+        self._advanced: Dict[NodeId, int] = {node: 0 for node in self.nodes}
+        # (slot, node, went_down) transitions, for tests and reports.
+        self.transitions: List[Tuple[int, NodeId, bool]] = []
+
+    def node_down(self, node: NodeId, slot: int) -> bool:
+        if node not in self.nodes:
+            return False
+        last = self._advanced[node]
+        if slot > last:
+            rng = self._rng[node]
+            down = self._down[node]
+            for step in range(last + 1, slot + 1):
+                if down:
+                    if self.recover_rate and rng.random() < self.recover_rate:
+                        down = False
+                        self.transitions.append((step, node, False))
+                elif self.fail_rate and rng.random() < self.fail_rate:
+                    down = True
+                    self.transitions.append((step, node, True))
+            self._down[node] = down
+            self._advanced[node] = slot
+        return self._down[node]
+
+    def churn_events(self, node: Optional[NodeId] = None) -> List[Tuple[int, NodeId, bool]]:
+        """Transitions seen so far: ``(slot, node, went_down)`` triples."""
+        if node is None:
+            return list(self.transitions)
+        return [t for t in self.transitions if t[1] == node]

@@ -1,0 +1,89 @@
+"""Bursty link fading: the Gilbert–Elliott two-state loss model."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import NodeId
+from repro.radio.failures import FailureModel
+from repro.rng import derive_seed
+
+
+class GilbertElliott(FailureModel):
+    """Per-link good/bad fading with state-dependent loss probabilities.
+
+    Each *directed* link ``(sender, receiver)`` is an independent Markov
+    chain over {good, bad}: a good link turns bad with per-slot probability
+    ``p_bad`` and a bad one recovers with ``p_good``.  A delivery on a good
+    link is lost with probability ``loss_good`` (default 0) and on a bad
+    link with ``loss_bad`` (default 1) — the classic model of bursty
+    erasures, as opposed to :class:`~repro.radio.failures.BernoulliLinkLoss`
+    whose losses are independent across slots.
+
+    The stationary loss rate is ``loss_bad · p_bad / (p_bad + p_good)`` (+
+    the ``loss_good`` floor); the mean burst length is ``1/p_good`` slots.
+
+    Link chains are created lazily on first query and advanced lazily to
+    the queried slot, each from its own seed-derived stream, so memory and
+    work scale with the links actually exercised.
+    """
+
+    def __init__(
+        self,
+        p_bad: float,
+        p_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        seed: int = 0,
+    ):
+        for name, p in (
+            ("p_bad", p_bad),
+            ("p_good", p_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0,1], got {p}")
+        self.p_bad = p_bad
+        self.p_good = p_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.seed = seed
+        # link -> (rng, currently_bad, advanced_to_slot)
+        self._links: Dict[Tuple[NodeId, NodeId], Tuple[random.Random, bool, int]] = {}
+
+    def _state(self, link: Tuple[NodeId, NodeId], slot: int) -> Tuple[random.Random, bool]:
+        entry = self._links.get(link)
+        if entry is None:
+            rng = random.Random(derive_seed(self.seed, "link", link))
+            bad, advanced = False, 0
+        else:
+            rng, bad, advanced = entry
+        if slot > advanced:
+            for _ in range(slot - advanced):
+                if bad:
+                    if self.p_good and rng.random() < self.p_good:
+                        bad = False
+                elif self.p_bad and rng.random() < self.p_bad:
+                    bad = True
+            advanced = slot
+        self._links[link] = (rng, bad, advanced)
+        return rng, bad
+
+    def link_bad(self, sender: NodeId, receiver: NodeId, slot: int) -> bool:
+        """Whether the directed link is in the bad state at ``slot``."""
+        _, bad = self._state((sender, receiver), slot)
+        return bad
+
+    def drop_delivery(
+        self, sender: NodeId, receiver: NodeId, slot: int
+    ) -> bool:
+        rng, bad = self._state((sender, receiver), slot)
+        loss = self.loss_bad if bad else self.loss_good
+        if loss <= 0.0:
+            return False
+        if loss >= 1.0:
+            return True
+        return rng.random() < loss

@@ -1,0 +1,67 @@
+"""A duty-cycled adversarial jammer."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.graphs.graph import NodeId
+from repro.radio.failures import FailureModel
+
+
+class AdversarialJammer(FailureModel):
+    """Deterministic duty-cycled jamming of targeted receivers.
+
+    During the first ``duty`` slots of every ``period``-slot window
+    (starting at ``start``, optionally ending at ``end``) every would-be
+    successful delivery to a targeted station is destroyed.  ``targets=None``
+    jams the whole network.  The schedule is deterministic — the strongest
+    adversary expressible through the engine's failure hook, since it can
+    be aligned against the (publicly known) slot structure, e.g. jamming
+    exactly the ack slots of one level class.
+
+    This models an *external* interferer: the jammer is not a station, so
+    it blanks receptions outright rather than creating collisions the
+    protocols could detect.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        duty: int,
+        targets: Optional[Iterable[NodeId]] = None,
+        start: int = 0,
+        end: Optional[int] = None,
+        offset: int = 0,
+    ):
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if not 0 <= duty <= period:
+            raise ConfigurationError(
+                f"duty must be in [0, period={period}], got {duty}"
+            )
+        if not 0 <= offset < period:
+            raise ConfigurationError(
+                f"offset must be in [0, period), got {offset}"
+            )
+        self.period = period
+        self.duty = duty
+        self.targets: Optional[FrozenSet[NodeId]] = (
+            None if targets is None else frozenset(targets)
+        )
+        self.start = start
+        self.end = end
+        self.offset = offset
+
+    def jamming(self, slot: int) -> bool:
+        """Whether the jammer is transmitting during ``slot``."""
+        if slot < self.start or (self.end is not None and slot >= self.end):
+            return False
+        return (slot - self.start + self.offset) % self.period < self.duty
+
+    def drop_delivery(
+        self, sender: NodeId, receiver: NodeId, slot: int
+    ) -> bool:
+        if not self.jamming(slot):
+            return False
+        return self.targets is None or receiver in self.targets

@@ -28,6 +28,7 @@ from repro.radio.process import Process, SlotAction
 from repro.radio.trace import (
     CollisionEvent,
     DeliverEvent,
+    DropEvent,
     EventTrace,
     NetworkStats,
     TransmitEvent,
@@ -159,6 +160,7 @@ class RadioNetwork:
         for node, process in self._processes.items():
             if failures is not None and failures.node_down(node, slot):
                 down_nodes.add(node)
+                self.stats.down_node_slots += 1
                 continue
             for tx in self._normalize_action(process.on_slot(slot)):
                 if tx.channel >= self.num_channels:
@@ -212,10 +214,26 @@ class RadioNetwork:
                         self._processes[receiver].on_collision(slot, channel)
                     if self.capture_effect:
                         # §8 remark (3): the receiver captures one of the
-                        # colliding messages, uniformly at random.
+                        # colliding messages, uniformly at random.  The
+                        # captured delivery is still subject to link loss.
                         assert colliders is not None
                         assert self._capture_rng is not None
                         winner = self._capture_rng.choice(colliders)
+                        if failures is not None and failures.drop_delivery(
+                            winner, receiver, slot
+                        ):
+                            self.stats.channel(channel).dropped += 1
+                            if trace is not None:
+                                trace.record(
+                                    DropEvent(
+                                        slot,
+                                        channel,
+                                        receiver,
+                                        winner,
+                                        senders[winner],
+                                    )
+                                )
+                            continue
                         self.stats.channel(channel).deliveries += 1
                         if trace is not None:
                             trace.record(
@@ -235,6 +253,13 @@ class RadioNetwork:
                 if failures is not None and failures.drop_delivery(
                     sender, receiver, slot
                 ):
+                    self.stats.channel(channel).dropped += 1
+                    if trace is not None:
+                        trace.record(
+                            DropEvent(
+                                slot, channel, receiver, sender, senders[sender]
+                            )
+                        )
                     continue
                 self.stats.channel(channel).deliveries += 1
                 if trace is not None:
@@ -269,6 +294,10 @@ class RadioNetwork:
         """
         if max_slots < 0:
             raise ConfigurationError(f"max_slots must be >= 0, got {max_slots}")
+        if check_every < 1:
+            raise ConfigurationError(
+                f"check_every must be >= 1, got {check_every}"
+            )
         start = self.slot
         if until is not None and until(self):
             return 0

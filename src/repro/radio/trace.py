@@ -21,6 +21,7 @@ class ChannelStats:
     deliveries: int = 0
     collisions: int = 0  # listener-slots with >= 2 transmitting neighbors
     busy_slots: int = 0  # slots with >= 1 transmission anywhere
+    dropped: int = 0  # would-be deliveries lost to the failure model
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -28,6 +29,7 @@ class ChannelStats:
             "deliveries": self.deliveries,
             "collisions": self.collisions,
             "busy_slots": self.busy_slots,
+            "dropped": self.dropped,
         }
 
 
@@ -37,6 +39,7 @@ class NetworkStats:
 
     slots: int = 0
     per_channel: Dict[int, ChannelStats] = field(default_factory=dict)
+    down_node_slots: int = 0  # node-slots spent crashed (failure injection)
 
     def channel(self, channel: int) -> ChannelStats:
         if channel not in self.per_channel:
@@ -55,12 +58,18 @@ class NetworkStats:
     def collisions(self) -> int:
         return sum(c.collisions for c in self.per_channel.values())
 
+    @property
+    def dropped(self) -> int:
+        return sum(c.dropped for c in self.per_channel.values())
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "slots": self.slots,
             "transmissions": self.transmissions,
             "deliveries": self.deliveries,
             "collisions": self.collisions,
+            "dropped": self.dropped,
+            "down_node_slots": self.down_node_slots,
             "per_channel": {
                 ch: stats.as_dict() for ch, stats in self.per_channel.items()
             },
@@ -90,6 +99,18 @@ class CollisionEvent:
     channel: int
     receiver: NodeId
     senders: Tuple[NodeId, ...]
+
+
+@dataclass(frozen=True)
+class DropEvent:
+    """A delivery that would have succeeded but was lost to the failure
+    model (fading, jamming, …) — collisions are :class:`CollisionEvent`."""
+
+    slot: int
+    channel: int
+    receiver: NodeId
+    sender: NodeId
+    payload: Any
 
 
 class EventTrace:
@@ -124,6 +145,10 @@ class EventTrace:
     @property
     def collisions(self) -> List[CollisionEvent]:
         return self.of_type(CollisionEvent)  # type: ignore[return-value]
+
+    @property
+    def drops(self) -> List[DropEvent]:
+        return self.of_type(DropEvent)  # type: ignore[return-value]
 
     def __len__(self) -> int:
         return len(self.events)
