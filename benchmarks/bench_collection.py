@@ -6,63 +6,55 @@ excludes the ×3 level-multiplexing of §2.2, so the multiplexed
 implementation is compared against 3×32.27; the un-multiplexed variant
 against 32.27 directly).  Also fits the scaling exponent of slots vs k,
 which Theorem 4.4 predicts to be ≤ 1 asymptotically.
+
+Runs through the parallel runner (experiment ``E3`` of
+``repro.runner.defs``): set ``REPRO_BENCH_WORKERS`` to shard the grid and
+``REPRO_BENCH_CACHE`` to make repeat runs near-free.  The machine-readable
+summary lands in ``benchmarks/results/BENCH_E3.json``.
 """
 
-import math
+from conftest import run_experiment_for_bench
 
-from conftest import replication_seeds
-
-from repro.analysis import print_table, scaling_exponent, summarize
-from repro.core import expected_collection_slots, run_collection, theorem_44_constant
-from repro.graphs import (
-    layered_band,
-    path,
-    random_geometric,
-    reference_bfs_tree,
+from repro.analysis import print_table, scaling_exponent
+from repro.core import theorem_44_constant
+from repro.runner.defs import (
+    E3_CLASSES,
+    E3_KS,
+    E3_SCALING_KS,
+    E3_SCALING_TOPOLOGY,
+    E3_TOPOLOGIES,
+    collection_metrics,
 )
-import random
-
-
-def measure(graph, tree, k, seed, level_classes):
-    deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
-    sources = {deepest: [f"m{i}" for i in range(k)]}
-    result = run_collection(
-        graph, tree, sources, seed, level_classes=level_classes
-    )
-    return result.slots
 
 
 def test_e3_collection_constant(benchmark):
+    report = run_experiment_for_bench("E3", replications=5)
+    cells = {}
+    for outcomes in report.grouped().values():
+        params = outcomes[0].spec.params
+        key = (params["topology"], params["k"], params["classes"])
+        cells[key] = outcomes
+
     rows = []
-    scenarios = [
-        ("path-12", lambda r: path(12)),
-        ("path-24", lambda r: path(24)),
-        ("band-6x4", lambda r: layered_band(6, 4)),
-        ("rgg-30", lambda r: random_geometric(30, 0.3, r)),
-    ]
-    for name, build in scenarios:
-        for k in (4, 16):
-            for classes in (3, 1):
-                samples = []
-                for seed in replication_seeds(f"e3-{name}-{k}-{classes}", 5):
-                    graph = build(random.Random(seed))
-                    tree = reference_bfs_tree(graph, 0)
-                    samples.append(
-                        measure(graph, tree, k, seed, classes)
-                    )
-                graph = build(random.Random(0))
-                tree = reference_bfs_tree(graph, 0)
-                log_delta = math.log2(max(2, graph.max_degree()))
-                denom = (k + tree.depth) * log_delta
-                constant = summarize(samples).mean / denom
+    for name in E3_TOPOLOGIES:
+        for k in E3_KS:
+            for classes in E3_CLASSES:
+                outcomes = cells[(name, k, classes)]
+                mean_slots = sum(
+                    o.metrics["slots"] for o in outcomes
+                ) / len(outcomes)
+                constant = sum(
+                    o.metrics["constant"] for o in outcomes
+                ) / len(outcomes)
+                depth = outcomes[0].metrics["depth"]
                 bound = theorem_44_constant() * classes
                 rows.append(
                     [
                         name,
                         k,
-                        tree.depth,
+                        depth,
                         classes,
-                        summarize(samples).mean,
+                        mean_slots,
                         constant,
                         bound,
                         "yes" if constant <= bound else "NO",
@@ -85,22 +77,22 @@ def test_e3_collection_constant(benchmark):
     )
 
     # Scaling in k at fixed topology: exponent ~ <= 1 (linear pipeline).
-    graph = path(16)
-    tree = reference_bfs_tree(graph, 0)
-    ks = [4, 8, 16, 32]
-    means = []
-    for k in ks:
-        samples = [
-            measure(graph, tree, k, seed, 3)
-            for seed in replication_seeds(f"e3-scaling-{k}", 4)
-        ]
-        means.append(summarize(samples).mean)
-    alpha = scaling_exponent(ks, means)
+    means = [
+        sum(o.metrics["slots"] for o in cells[(E3_SCALING_TOPOLOGY, k, 3)])
+        / len(cells[(E3_SCALING_TOPOLOGY, k, 3)])
+        for k in E3_SCALING_KS
+    ]
+    alpha = scaling_exponent(E3_SCALING_KS, means)
     print_table(
         ["k", "slots"],
-        list(zip(ks, means)),
-        title=f"E3b: slots vs k on path-16 (fit exponent α = {alpha:.2f})",
+        list(zip(E3_SCALING_KS, means)),
+        title=(
+            f"E3b: slots vs k on {E3_SCALING_TOPOLOGY} "
+            f"(fit exponent α = {alpha:.2f})"
+        ),
     )
     assert alpha <= 1.2
 
-    benchmark(lambda: measure(graph, tree, 8, seed=5, level_classes=3))
+    benchmark(
+        lambda: collection_metrics(E3_SCALING_TOPOLOGY, 8, 3, seed=5)
+    )

@@ -17,16 +17,12 @@ Qualitative claims asserted:
   collection (the hardening is free when nothing fails).
 """
 
-from conftest import replication_seeds
+from conftest import replication_seeds, run_experiment_for_bench
 
-from repro.analysis import (
-    print_table,
-    resilience_table,
-    run_resilience_suite,
-    standard_scenarios,
-)
+from repro.analysis import print_table, scenario_metrics
 from repro.core import run_collection, run_resilient_collection
 from repro.graphs import layered_band, path, reference_bfs_tree
+from repro.runner.defs import E16_SCENARIOS
 
 
 def _sources(tree, k=4):
@@ -39,58 +35,54 @@ def _sources(tree, k=4):
 
 
 def test_e16_resilience_suite(benchmark):
-    graph = layered_band(6, 3)
-    tree = reference_bfs_tree(graph, 0)
-    sources = _sources(tree)
-    all_reports = []
-    for seed in replication_seeds("e16-suite", 3):
-        reports = run_resilience_suite(
-            graph, tree, sources, seed=seed, down_grace_slots=2_000
-        )
-        all_reports.append(reports)
-        for report in reports:
-            result = report.result
+    report = run_experiment_for_bench("E16", replications=3)
+    by_scenario = {}
+    for outcomes in report.grouped().values():
+        by_scenario[outcomes[0].spec.params["scenario"]] = outcomes
+
+    for scenario, outcomes in by_scenario.items():
+        for outcome in outcomes:
+            metrics = outcome.metrics
+            seed = outcome.spec.seed
             # Any fault class: never hang — a run either drains or reports.
-            assert not result.timed_out, (report.scenario, seed)
+            assert not metrics["timed_out"], (scenario, seed)
             # Link faults and recoverable outages: correctness survives,
             # only running time degrades (delivery stays total).
-            if report.scenario in ("fading", "jammer", "churn", "blackout"):
-                assert report.delivery_ratio == 1.0, (report.scenario, seed)
+            if scenario in ("fading", "jammer", "churn", "blackout"):
+                assert metrics["delivery_ratio"] == 1.0, (scenario, seed)
             # Partition: everything reachable still arrives (repair routes
             # around the dead station wherever the graph allows).
-            assert report.reachable_delivery_ratio == 1.0, (
-                report.scenario,
+            assert metrics["reachable_delivery_ratio"] == 1.0, (
+                scenario,
                 seed,
             )
-            assert result.partition_precision == 1.0, (report.scenario, seed)
-    print(resilience_table(all_reports[0]))
+            assert metrics["partition_precision"] == 1.0, (scenario, seed)
 
     # Aggregate across seeds: mean slowdown per scenario.
     rows = []
-    for idx, scenario in enumerate(standard_scenarios()):
-        slowdowns = [reports[idx].slowdown for reports in all_reports]
-        ratios = [reports[idx].delivery_ratio for reports in all_reports]
-        repairs = [reports[idx].repairs for reports in all_reports]
+    for scenario in E16_SCENARIOS:
+        outcomes = by_scenario[scenario]
+        mean = lambda name: sum(
+            o.metrics[name] for o in outcomes
+        ) / len(outcomes)
         rows.append(
             [
-                scenario.name,
-                f"{sum(ratios) / len(ratios):.2f}",
-                f"{sum(slowdowns) / len(slowdowns):.2f}x",
-                f"{sum(repairs) / len(repairs):.1f}",
+                scenario,
+                f"{mean('delivery_ratio'):.2f}",
+                f"{mean('slowdown'):.2f}x",
+                f"{mean('repairs'):.1f}",
+                f"{mean('partition_precision'):.2f}"
+                f"/{mean('partition_recall'):.2f}",
             ]
         )
     print_table(
-        ["scenario", "delivery ratio", "slowdown", "repairs"],
+        ["scenario", "delivery ratio", "slowdown", "repairs", "part P/R"],
         rows,
         title="E16: means over seeds (layered_band 6x3)",
     )
 
     seed = replication_seeds("e16-kernel", 1)[0]
-    benchmark(
-        lambda: run_resilience_suite(
-            graph, tree, sources, seed=seed, down_grace_slots=2_000
-        )
-    )
+    benchmark(lambda: scenario_metrics("fading", seed))
 
 
 def test_e16_true_partition_terminates_structurally():

@@ -5,79 +5,35 @@ There is probability µ = e⁻¹(1−e⁻¹) that during the phase a message fro
 level i is successfully received by its BFS parent."
 
 Unlike Decay property (2) this demands the message arrive at its *correct
-destination* despite cross-traffic toward other parents.  We build the
-adversarial shape directly: a root, P parents at level 1, C children at
-level 2 adjacent to *all* parents (so every child's transmission can
-collide at every parent), give every child messages, and measure the
-fraction of phases (while level 2 is loaded) in which the level-2 backlog
-strictly drops.  Both the |TRY| ≤ Δ and |TRY| > Δ regimes of the theorem's
-proof are exercised by sweeping C against the Decay budget's Δ.
+destination* despite cross-traffic toward other parents.  The adversarial
+shape (root, P parents, C children adjacent to all parents) and the
+advance-rate measurement live in ``repro.runner.defs`` as experiment
+``E2``; this bench drives the grid through the parallel runner and
+asserts the bound per configuration.  Summary JSON:
+``benchmarks/results/BENCH_E2.json``.
 """
 
-from conftest import replication_seeds
+from conftest import run_experiment_for_bench
 
 from repro.analysis import print_table, summarize
 from repro.core import MU
-from repro.core.collection import build_collection_network
-from repro.graphs import Graph, reference_bfs_tree
-
-
-def contention_graph(parents: int, children: int) -> Graph:
-    """Root 0; parents 1..P at level 1; children fully joined to parents."""
-    edges = [(0, p) for p in range(1, parents + 1)]
-    for c in range(parents + 1, parents + children + 1):
-        for p in range(1, parents + 1):
-            edges.append((p, c))
-    return Graph.from_edges(edges)
-
-
-def measure_advance_rate(
-    parents: int, children: int, load: int, seed: int
-) -> float:
-    graph = contention_graph(parents, children)
-    tree = reference_bfs_tree(graph, 0)
-    child_ids = [
-        n for n in graph.nodes if tree.level[n] == 2
-    ]
-    sources = {c: [f"m{c}-{i}" for i in range(load)] for c in child_ids}
-    network, processes, slots = build_collection_network(
-        graph, tree, sources, seed
-    )
-
-    def level2_backlog() -> int:
-        return sum(processes[c].backlog for c in child_ids)
-
-    successes = 0
-    phases = 0
-    while level2_backlog() > 0 and phases < 5_000:
-        before = level2_backlog()
-        for _ in range(slots.phase_length):
-            network.step()
-        phases += 1
-        if level2_backlog() < before:
-            successes += 1
-    return successes / max(1, phases)
+from repro.runner.defs import E2_CONFIGS, advance_rate_metrics
 
 
 def test_e2_theorem_41_advance_probability(benchmark):
+    report = run_experiment_for_bench("E2", replications=6)
+    cells = {}
+    for outcomes in report.grouped().values():
+        params = outcomes[0].spec.params
+        cells[(params["parents"], params["children"])] = outcomes
+
     rows = []
-    configs = [
-        # (parents, children, load) — children vs Δ spans both proof cases
-        (1, 2, 3),
-        (1, 6, 3),
-        (2, 8, 2),
-        (3, 12, 2),
-        (2, 24, 1),
-    ]
-    for parents, children, load in configs:
-        samples = [
-            measure_advance_rate(parents, children, load, seed)
-            for seed in replication_seeds(
-                f"e2-{parents}-{children}", 6
-            )
-        ]
-        summary = summarize(samples)
-        delta = contention_graph(parents, children).max_degree()
+    for parents, children, load in E2_CONFIGS:
+        outcomes = cells[(parents, children)]
+        summary = summarize(
+            [o.metrics["advance_rate"] for o in outcomes]
+        )
+        delta = outcomes[0].metrics["delta"]
         rows.append(
             [
                 parents,
@@ -103,4 +59,4 @@ def test_e2_theorem_41_advance_probability(benchmark):
         rows,
         title="E2: Thm 4.1 — per-phase P[level advances] vs µ ≈ 0.2325",
     )
-    benchmark(lambda: measure_advance_rate(2, 8, 1, seed=1))
+    benchmark(lambda: advance_rate_metrics(2, 8, 1, seed=1))

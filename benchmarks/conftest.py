@@ -9,16 +9,64 @@ executes every experiment, prints its table (the reproduced "table/figure"
 recorded in EXPERIMENTS.md), asserts the paper's qualitative claims
 (who wins, which bound holds), and reports wall-clock timings via
 pytest-benchmark for a representative kernel of each experiment.
+
+Benchmarks migrated onto the parallel runner (E2, E3, E16) execute
+through :func:`run_experiment_for_bench`, which also writes each
+experiment's machine-readable ``BENCH_<EXP_ID>.json`` summary (medians,
+CIs, wall time) under ``benchmarks/results/``.  Environment knobs:
+
+``REPRO_BENCH_WORKERS``
+    Worker processes for migrated benches (default 0 = inline).
+``REPRO_BENCH_CACHE``
+    Result-cache directory; set it to make repeat bench runs near-free.
+``REPRO_BENCH_RESULTS``
+    Where BENCH_*.json summaries land (default ``benchmarks/results``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+import os
+from pathlib import Path
+from typing import Any, Callable, List
 
 from repro.rng import RngFactory
 
 #: Experiment-wide root seed; every benchmark derives from it.
 ROOT_SEED = 20260704
+
+
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+
+def bench_results_dir() -> Path:
+    override = os.environ.get("REPRO_BENCH_RESULTS")
+    if override:
+        return Path(override)
+    return Path(__file__).parent / "results"
+
+
+def run_experiment_for_bench(exp_id: str, replications: int, **options: Any):
+    """Run a registered experiment the way benches do, summary JSON included.
+
+    One code path serves tests (workers=0 inline), benchmarks, and
+    large-scale sweeps: this helper only fixes the root seed and adds the
+    ``BENCH_<EXP_ID>.json`` telemetry drop.
+    """
+    from repro.runner import run_experiment, write_bench_summary
+
+    report = run_experiment(
+        exp_id,
+        seed=ROOT_SEED,
+        replications=replications,
+        workers=bench_workers(),
+        cache=os.environ.get("REPRO_BENCH_CACHE") or None,
+        **options,
+    )
+    write_bench_summary(
+        report, bench_results_dir() / f"BENCH_{exp_id}.json"
+    )
+    return report
 
 
 def replication_seeds(name: str, count: int) -> List[int]:

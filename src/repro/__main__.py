@@ -14,6 +14,11 @@ Commands
     Run collection under the standard fault scenarios (churn, fading,
     jamming, blackout, partition) and report delivery ratio, slowdown
     vs. the failure-free baseline, repairs and partition detection.
+``run <EXP_ID> [--workers N] [--cache DIR] …``
+    Run a registered experiment grid through the parallel runner:
+    sharded execution, content-addressed result cache, JSONL telemetry.
+    ``run --list`` shows the runnable experiments;
+    ``run <EXP_ID> --help`` shows all options.
 ``experiments``
     List the experiment registry (id, claim, bench file).
 ``validate``
@@ -138,6 +143,112 @@ def _cmd_resilience(seed: int) -> None:
     )
 
 
+def _cmd_run(argv: list) -> int:
+    import argparse
+
+    from repro.runner import (
+        get_experiment,
+        registered_ids,
+        run_experiment,
+        write_bench_summary,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description=(
+            "Run one registered experiment as a (topology × workload × "
+            "seed) task grid: sharded over worker processes, resumable "
+            "through the result cache, recorded as JSONL telemetry."
+        ),
+    )
+    parser.add_argument(
+        "exp_id", nargs="?", help="experiment id (see --list)"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list runnable experiments"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = inline, the default)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="result-cache directory (hits replay without executing)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="experiment root seed"
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=5,
+        help="replications per grid case",
+    )
+    parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="telemetry directory (manifest.json + telemetry.jsonl)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the BENCH-style summary JSON to FILE",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="miniature grid (CI smoke / quick sanity)",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the live progress line",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.exp_id is None:
+        from repro.analysis.experiments import REGISTRY
+
+        claims = {e.exp_id: e.claim for e in REGISTRY}
+        print("runnable experiments:")
+        for exp_id in registered_ids():
+            defn = get_experiment(exp_id)
+            claim = claims.get(exp_id)
+            detail = f" — {claim}" if claim else ""
+            print(f"  {exp_id:<5} {defn.title}{detail}")
+        return 0 if args.list else 2
+
+    report = run_experiment(
+        args.exp_id,
+        seed=args.seed,
+        replications=args.replications,
+        workers=args.workers,
+        cache=args.cache,
+        telemetry=args.run_dir,
+        progress=not args.no_progress,
+        quick=args.quick,
+    )
+    defn = get_experiment(args.exp_id)
+    print(report.summary_table(defn.summary_metrics or None))
+    print(
+        f"{len(report.outcomes)} tasks: {report.executed} executed, "
+        f"{report.cache_hits} from cache; workers={report.workers}; "
+        f"wall {report.wall_time:.2f}s"
+    )
+    if args.run_dir:
+        print(f"telemetry: {args.run_dir}/telemetry.jsonl")
+    if args.json:
+        write_bench_summary(report, args.json)
+        print(f"summary json: {args.json}")
+    return 0
+
+
 def _cmd_info() -> None:
     import repro
     from repro.core import LAMBDA_STAR, MU, theorem_44_constant
@@ -155,6 +266,8 @@ def main(argv: list) -> int:
         print(__doc__)
         return 0
     command = argv[0]
+    if command == "run":
+        return _cmd_run(argv[1:])
     seed = int(argv[1]) if len(argv) > 1 else 7
     if command == "demo":
         _cmd_demo(seed)

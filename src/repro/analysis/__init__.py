@@ -21,9 +21,11 @@ from repro.analysis.sweep import (
 from repro.analysis.resilience import (
     FaultScenario,
     ResilienceReport,
+    default_sources,
     evaluate_scenario,
     resilience_table,
     run_resilience_suite,
+    scenario_metrics,
     standard_scenarios,
 )
 from repro.analysis.tables import format_table, print_table
@@ -46,6 +48,7 @@ __all__ = [
     "TopologyPoint",
     "Timeline",
     "congestion_profile",
+    "default_sources",
     "evaluate_scenario",
     "format_table",
     "geometric_pmf",
@@ -59,6 +62,7 @@ __all__ = [
     "resilience_table",
     "run_resilience_suite",
     "scaling_exponent",
+    "scenario_metrics",
     "standard_scenarios",
     "standard_topologies",
     "by_id",

@@ -219,6 +219,75 @@ def run_resilience_suite(
     ]
 
 
+def default_sources(tree: BFSTree, k: int = 4) -> Dict[NodeId, List[Any]]:
+    """The harness's standard traffic shape: deep burst + mid injection."""
+    deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
+    mid = min(
+        (v for v in tree.nodes if 0 < tree.level[v] < tree.depth),
+        default=deepest,
+    )
+    sources: Dict[NodeId, List[Any]] = {
+        deepest: [f"m{i}" for i in range(k)]
+    }
+    sources.setdefault(mid, []).extend(["n0", "n1"])
+    return sources
+
+
+def scenario_metrics(
+    scenario: str,
+    seed: int,
+    layers: int = 6,
+    width: int = 3,
+    k: int = 4,
+    down_grace_slots: Optional[int] = 2_000,
+) -> Dict[str, float]:
+    """One pure resilience task for the parallel runner (experiment E16).
+
+    Runs self-healing collection on a ``layered_band(layers, width)``
+    topology twice with the same seed — failure-free baseline, then the
+    named scenario — and returns the headline numbers as a flat metrics
+    dict.  Being a pure function of its arguments, it shards and caches
+    cleanly; :mod:`repro.runner.defs` registers it under ``E16``.
+    """
+    by_name = {s.name: s for s in standard_scenarios()}
+    if scenario not in by_name:
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; known: {sorted(by_name)}"
+        )
+    from repro.graphs import layered_band, reference_bfs_tree
+
+    graph = layered_band(layers, width)
+    tree = reference_bfs_tree(graph, 0)
+    sources = default_sources(tree, k)
+    baseline = run_resilient_collection(
+        graph, tree, sources, seed, failures=None
+    )
+    report = evaluate_scenario(
+        graph,
+        tree,
+        sources,
+        by_name[scenario],
+        seed,
+        down_grace_slots=down_grace_slots,
+        baseline_slots=baseline.slots,
+    )
+    result = report.result
+    return {
+        "slots": result.slots,
+        "baseline_slots": baseline.slots,
+        "slowdown": report.slowdown,
+        "delivered": result.messages_delivered,
+        "expected": result.expected,
+        "delivery_ratio": report.delivery_ratio,
+        "reachable_delivery_ratio": report.reachable_delivery_ratio,
+        "repairs": report.repairs,
+        "declared_partitioned": len(result.declared_partitioned),
+        "partition_precision": result.partition_precision,
+        "partition_recall": result.partition_recall,
+        "timed_out": int(result.timed_out),
+    }
+
+
 def resilience_table(reports: Sequence[ResilienceReport]) -> str:
     """Render the suite's headline numbers as one ASCII table."""
     from repro.analysis.tables import format_table

@@ -4,13 +4,20 @@ An experiment in this repo is: a topology family point × a workload ×
 replications over independent seeds, summarized into one table row.  This
 module provides the scaffolding so each bench file only declares *what*
 varies.
+
+Both :func:`sweep` and :func:`replicated` execute through the parallel
+runner (:mod:`repro.runner`): ``workers=0`` (the default) runs inline
+exactly as before, ``workers=N`` shards the grid over N processes, and
+``cache_dir`` replays previously computed cells from disk.  Seeds are
+derived before dispatch, so every gear returns bit-identical samples.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.analysis.stats import Summary, summarize
 from repro.errors import ConfigurationError
@@ -94,19 +101,89 @@ class ReplicatedMeasurement:
         return self.summary.mean
 
 
+def _measure_name(measure: Callable) -> str:
+    """A stable identity for a measure callable, used in cache keys.
+
+    Without it, two sweeps measuring different things over the same
+    topologies and seed would collide in the result cache.
+    """
+    module = getattr(measure, "__module__", "?")
+    qualname = getattr(
+        measure, "__qualname__", type(measure).__qualname__
+    )
+    return f"{module}.{qualname}"
+
+
+class _SeedMeasureTask:
+    """Picklable runner task for :func:`replicated`."""
+
+    def __init__(self, measure: Callable[[int], float]):
+        self.measure = measure
+
+    def __call__(self, spec) -> Dict[str, float]:
+        return {"value": float(self.measure(spec.seed))}
+
+
+class _SweepTask:
+    """Picklable runner task for :func:`sweep` (rebuilds topology by name)."""
+
+    def __init__(
+        self,
+        builds: Dict[str, Callable[[random.Random], Graph]],
+        measure: Callable[[Graph, int], float],
+    ):
+        self.builds = builds
+        self.measure = measure
+
+    def __call__(self, spec) -> Dict[str, float]:
+        build = self.builds[spec.params["topology"]]
+        graph = build(random.Random(spec.seed))
+        return {"value": float(self.measure(graph, spec.seed))}
+
+
 def replicated(
     measure: Callable[[int], float],
     replications: int,
     seed: int,
     label: str = "measure",
+    workers: int = 0,
+    cache_dir: Union[str, os.PathLike, None] = None,
 ) -> ReplicatedMeasurement:
-    """Run ``measure(seed_i)`` over independent derived seeds."""
+    """Run ``measure(seed_i)`` over independent derived seeds.
+
+    With ``workers > 0`` the replications shard over a process pool
+    (``measure`` must then be picklable); ``cache_dir`` replays stored
+    samples.  Seeds and the returned sample order are identical in
+    every configuration.
+    """
     if replications < 1:
         raise ConfigurationError("need at least one replication")
+    from repro.runner import TaskSpec, run_tasks
+
     factory = RngFactory(seed)
+    tasks = [
+        TaskSpec(
+            exp_id="replicated",
+            case=(
+                ("label", label),
+                ("measure", _measure_name(measure)),
+            ),
+            replicate=rep,
+            seed=rep_seed,
+        )
+        for rep, rep_seed in enumerate(
+            factory.replication_seeds(replications)
+        )
+    ]
+    report = run_tasks(
+        tasks,
+        _SeedMeasureTask(measure),
+        workers=workers,
+        cache=cache_dir,
+    )
     out = ReplicatedMeasurement()
-    for rep_seed in factory.replication_seeds(replications):
-        out.add(float(measure(rep_seed)))
+    for outcome in report.outcomes:
+        out.add(float(outcome.metrics["value"]))
     return out
 
 
@@ -115,21 +192,54 @@ def sweep(
     measure: Callable[[Graph, int], float],
     replications: int,
     seed: int,
+    workers: int = 0,
+    cache_dir: Union[str, os.PathLike, None] = None,
 ) -> Dict[str, ReplicatedMeasurement]:
     """Measure over each topology point with seeded replications.
 
     The topology itself is re-sampled per replication for randomized
     families, so the variance covers both topology and protocol coins.
+
+    The sweep executes through :func:`repro.runner.run_tasks`:
+    ``workers=0`` runs inline, ``workers=N`` shards the grid over N
+    processes (``measure`` and each point's ``build`` must then be
+    picklable — top-level functions, not lambdas), and ``cache_dir``
+    makes re-runs replay from disk.  Seed derivation is fixed per
+    ``(point index, replication)``, so all gears agree sample for
+    sample with the historical serial implementation.
     """
-    results: Dict[str, ReplicatedMeasurement] = {}
+    from repro.runner import TaskSpec, run_tasks
+
     factory = RngFactory(seed)
+    tasks = []
+    builds: Dict[str, Callable[[random.Random], Graph]] = {}
     for index, point in enumerate(points):
+        builds[point.name] = point.build
         sub = factory.spawn(index)
-        measurement = ReplicatedMeasurement()
         for rep, rep_seed in enumerate(
             sub.replication_seeds(replications)
         ):
-            graph = point.make(rep_seed)
-            measurement.add(float(measure(graph, rep_seed)))
-        results[point.name] = measurement
+            tasks.append(
+                TaskSpec(
+                    exp_id="sweep",
+                    case=(
+                        ("measure", _measure_name(measure)),
+                        ("topology", point.name),
+                    ),
+                    replicate=rep,
+                    seed=rep_seed,
+                )
+            )
+    report = run_tasks(
+        tasks,
+        _SweepTask(builds, measure),
+        workers=workers,
+        cache=cache_dir,
+    )
+    results: Dict[str, ReplicatedMeasurement] = {}
+    for outcome in report.outcomes:
+        name = outcome.spec.params["topology"]
+        results.setdefault(name, ReplicatedMeasurement()).add(
+            float(outcome.metrics["value"])
+        )
     return results

@@ -95,6 +95,10 @@ class RadioNetwork:
         self.slot = 0
         self.stats = NetworkStats()
         self._processes: Dict[NodeId, Process] = {}
+        # Full-attachment is validated lazily: once per topology change,
+        # not in the per-slot hot loop (the check is an O(n) set
+        # difference, measurable at millions of slots per run).
+        self._attachment_validated = False
         # Cache adjacency as plain lists once; the inner loop iterates them
         # millions of times.
         self._neighbors: Dict[NodeId, tuple] = {
@@ -111,6 +115,7 @@ class RadioNetwork:
         if node not in self.graph:
             raise ConfigurationError(f"no station {node!r} in topology")
         self._processes[node] = process
+        self._attachment_validated = False
 
     def attach_all(self, factory: Callable[[NodeId], Process]) -> None:
         """Install ``factory(node)`` on every station of the topology."""
@@ -125,12 +130,15 @@ class RadioNetwork:
         return dict(self._processes)
 
     def _require_fully_attached(self) -> None:
+        if self._attachment_validated:
+            return
         missing = set(self.graph.nodes) - set(self._processes)
         if missing:
             raise ConfigurationError(
                 f"stations without processes: {sorted(missing)[:5]!r}"
                 + ("…" if len(missing) > 5 else "")
             )
+        self._attachment_validated = True
 
     # ------------------------------------------------------------------
     # The slot loop

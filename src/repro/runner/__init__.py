@@ -1,0 +1,60 @@
+"""The parallel experiment runner.
+
+An experiment is a grid of pure ``(topology × workload × seed)`` tasks
+(:mod:`repro.runner.task`); the executor (:mod:`repro.runner.executor`)
+runs a grid inline (``workers=0``) or sharded over a process pool, with
+a content-addressed on-disk result cache (:mod:`repro.runner.cache`)
+making interrupted sweeps resumable and repeat runs near-free, and run
+telemetry (:mod:`repro.runner.telemetry`) recording per-task JSONL,
+a run manifest, and live progress.
+
+The CLI front end is ``python -m repro run <EXP_ID> --workers N``;
+runnable experiments are registered in :mod:`repro.runner.defs`.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import (
+    RunReport,
+    TaskExecutionError,
+    TaskOutcome,
+    run_experiment,
+    run_tasks,
+)
+from repro.runner.registry import (
+    ExperimentDef,
+    get_experiment,
+    register,
+    registered_ids,
+    run_registered_task,
+)
+from repro.runner.task import TaskSpec, task_grid
+from repro.runner.telemetry import (
+    Progress,
+    RunTelemetry,
+    bench_summary,
+    median,
+    read_telemetry,
+    write_bench_summary,
+)
+
+__all__ = [
+    "ExperimentDef",
+    "Progress",
+    "ResultCache",
+    "RunReport",
+    "RunTelemetry",
+    "TaskExecutionError",
+    "TaskOutcome",
+    "TaskSpec",
+    "bench_summary",
+    "get_experiment",
+    "median",
+    "read_telemetry",
+    "register",
+    "registered_ids",
+    "run_experiment",
+    "run_registered_task",
+    "run_tasks",
+    "task_grid",
+    "write_bench_summary",
+]

@@ -1,0 +1,90 @@
+"""Content-addressed on-disk result cache.
+
+Every task outcome is stored under the sha256 key of its spec + package
+version (see :meth:`repro.runner.task.TaskSpec.key`), as one small JSON
+file in a two-level fan-out directory (``ab/abcdef….json``).  Because the
+key covers everything the outcome depends on, a hit can be replayed
+verbatim: interrupted sweeps resume for free and repeat runs execute
+zero tasks.
+
+Writes are atomic (`tmp` + ``os.replace``), so a crashed or killed worker
+never leaves a torn entry behind, and two processes racing to write the
+same key both leave a valid file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+
+class ResultCache:
+    """A directory of content-addressed task outcomes."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored outcome record for ``key``, or None on a miss.
+
+        A corrupt entry (torn write from a hard kill predating the atomic
+        rename, manual edit, …) counts as a miss and is discarded so the
+        task simply re-runs.
+        """
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Atomically store ``record`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """All stored keys (order unspecified)."""
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

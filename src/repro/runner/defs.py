@@ -1,0 +1,283 @@
+"""Built-in runnable experiments for ``python -m repro run``.
+
+Each definition expands one experiment of the DESIGN.md registry into a
+pure ``(topology × workload × seed)`` task grid and provides the
+top-level task function the executor ships to worker processes:
+
+* **E2** — Theorem 4.1's per-phase level-advance probability vs. µ;
+* **E3** — Theorem 4.4's collection constant across topology families,
+  plus the slots-vs-k scaling cells;
+* **E16** — self-healing collection under the standard fault scenarios.
+
+Topologies are named, not closed over: :func:`build_topology` parses
+``"path-24"``, ``"grid-4x4"``, ``"rgg-30"``, … into a graph, so a task
+spec stays a plain JSON record that any worker can reconstruct.
+
+Every definition accepts ``quick=True``, a miniature grid used by the CI
+smoke run and the sharding-determinism tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List
+
+from repro.core.collection import build_collection_network, run_collection
+from repro.errors import ConfigurationError
+from repro.graphs import (
+    Graph,
+    balanced_tree,
+    caterpillar,
+    cycle,
+    grid,
+    layered_band,
+    path,
+    random_geometric,
+    random_tree,
+    reference_bfs_tree,
+    star,
+)
+from repro.runner.registry import ExperimentDef, register
+from repro.runner.task import TaskSpec, task_grid
+
+# ----------------------------------------------------------------------
+# Topologies by name
+# ----------------------------------------------------------------------
+
+#: Unit-disk radius used by named ``rgg-N`` topologies (matches the
+#: sweep module's default family).
+RGG_RADIUS = 0.3
+
+
+def build_topology(name: str, rng: random.Random) -> Graph:
+    """Construct the topology named by ``name``.
+
+    Supported families: ``path-N``, ``star-N``, ``cycle-N``,
+    ``grid-RxC``, ``band-LxW``, ``caterpillar-SxL``, ``tree-bB-dD``,
+    ``rgg-N`` (unit disk, radius 0.3, sampled from ``rng``) and
+    ``rtree-N`` (uniform random tree sampled from ``rng``).
+    """
+    family, _, rest = name.partition("-")
+    try:
+        if family == "path":
+            return path(int(rest))
+        if family == "star":
+            return star(int(rest))
+        if family == "cycle":
+            return cycle(int(rest))
+        if family == "grid":
+            rows, cols = rest.split("x")
+            return grid(int(rows), int(cols))
+        if family == "band":
+            layers, width = rest.split("x")
+            return layered_band(int(layers), int(width))
+        if family == "caterpillar":
+            spine, legs = rest.split("x")
+            return caterpillar(int(spine), int(legs))
+        if family == "tree":
+            branching, depth = rest.split("-")
+            return balanced_tree(int(branching[1:]), int(depth[1:]))
+        if family == "rgg":
+            return random_geometric(int(rest), radius=RGG_RADIUS, rng=rng)
+        if family == "rtree":
+            return random_tree(int(rest), rng=rng)
+    except (ValueError, TypeError):
+        pass
+    raise ConfigurationError(
+        f"unknown topology name {name!r} (expected e.g. 'path-24', "
+        f"'grid-4x4', 'band-6x4', 'tree-b3-d2', 'rgg-30', 'rtree-24')"
+    )
+
+
+# ----------------------------------------------------------------------
+# E3 — Theorem 4.4 collection constant
+# ----------------------------------------------------------------------
+
+E3_TOPOLOGIES = ("path-12", "path-24", "band-6x4", "rgg-30")
+E3_KS = (4, 16)
+E3_CLASSES = (3, 1)
+#: The slots-vs-k scaling strip (fixed topology, multiplexed classes).
+E3_SCALING_TOPOLOGY = "path-16"
+E3_SCALING_KS = (4, 8, 16, 32)
+
+
+def collection_metrics(
+    topology: str, k: int, classes: int, seed: int
+) -> Dict[str, Any]:
+    """One E3 task: k-collection from the deepest station.
+
+    Emits the engine counters behind the Theorem 4.4 comparison: slots,
+    the tree depth (= the bound's D for this placement), log2 Δ, and the
+    measured constant ``slots / ((k + D)·log2 Δ)``.
+    """
+    graph = build_topology(topology, random.Random(seed))
+    tree = reference_bfs_tree(graph, 0)
+    deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
+    sources = {deepest: [f"m{i}" for i in range(k)]}
+    result = run_collection(
+        graph, tree, sources, seed, level_classes=classes
+    )
+    log_delta = math.log2(max(2, graph.max_degree()))
+    denominator = (k + tree.depth) * log_delta
+    return {
+        "slots": result.slots,
+        "depth": tree.depth,
+        "log_delta": log_delta,
+        "constant": result.slots / denominator,
+    }
+
+
+def _e3_tasks(
+    seed: int, replications: int, quick: bool = False, **_: Any
+) -> List[TaskSpec]:
+    if quick:
+        cases = [
+            {"topology": name, "k": 4, "classes": 3}
+            for name in ("path-12", "band-6x4")
+        ]
+    else:
+        cases = [
+            {"topology": name, "k": k, "classes": classes}
+            for name in E3_TOPOLOGIES
+            for k in E3_KS
+            for classes in E3_CLASSES
+        ]
+        cases += [
+            {"topology": E3_SCALING_TOPOLOGY, "k": k, "classes": 3}
+            for k in E3_SCALING_KS
+        ]
+    return task_grid("E3", cases, replications, seed)
+
+
+def _e3_run(spec: TaskSpec) -> Dict[str, Any]:
+    params = spec.params
+    return collection_metrics(
+        params["topology"], params["k"], params["classes"], spec.seed
+    )
+
+
+register(
+    ExperimentDef(
+        exp_id="E3",
+        title="Thm 4.4: k-collection slots vs 32.27·(k+D)·log Δ",
+        make_tasks=_e3_tasks,
+        run_task=_e3_run,
+        summary_metrics=("slots", "constant"),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# E2 — Theorem 4.1 per-phase advance probability
+# ----------------------------------------------------------------------
+
+#: (parents, children, msgs/child) — children vs Δ spans both proof cases.
+E2_CONFIGS = ((1, 2, 3), (1, 6, 3), (2, 8, 2), (3, 12, 2), (2, 24, 1))
+
+
+def contention_graph(parents: int, children: int) -> Graph:
+    """Root 0; parents 1..P at level 1; children fully joined to parents."""
+    edges = [(0, p) for p in range(1, parents + 1)]
+    for child in range(parents + 1, parents + children + 1):
+        for parent in range(1, parents + 1):
+            edges.append((parent, child))
+    return Graph.from_edges(edges)
+
+
+def advance_rate_metrics(
+    parents: int, children: int, load: int, seed: int
+) -> Dict[str, Any]:
+    """One E2 task: the fraction of loaded phases in which level 2 drains.
+
+    Theorem 4.1 lower-bounds this per-phase advance probability by
+    µ = e⁻¹(1−e⁻¹) on the adversarial all-to-all contention shape.
+    """
+    graph = contention_graph(parents, children)
+    tree = reference_bfs_tree(graph, 0)
+    child_ids = [node for node in graph.nodes if tree.level[node] == 2]
+    sources = {
+        child: [f"m{child}-{i}" for i in range(load)] for child in child_ids
+    }
+    network, processes, slots = build_collection_network(
+        graph, tree, sources, seed
+    )
+
+    def level2_backlog() -> int:
+        return sum(processes[child].backlog for child in child_ids)
+
+    successes = 0
+    phases = 0
+    while level2_backlog() > 0 and phases < 5_000:
+        before = level2_backlog()
+        for _ in range(slots.phase_length):
+            network.step()
+        phases += 1
+        if level2_backlog() < before:
+            successes += 1
+    return {
+        "advance_rate": successes / max(1, phases),
+        "phases": phases,
+        "delta": graph.max_degree(),
+    }
+
+
+def _e2_tasks(
+    seed: int, replications: int, quick: bool = False, **_: Any
+) -> List[TaskSpec]:
+    configs = E2_CONFIGS[:2] if quick else E2_CONFIGS
+    cases = [
+        {"parents": parents, "children": children, "load": load}
+        for parents, children, load in configs
+    ]
+    return task_grid("E2", cases, replications, seed)
+
+
+def _e2_run(spec: TaskSpec) -> Dict[str, Any]:
+    params = spec.params
+    return advance_rate_metrics(
+        params["parents"], params["children"], params["load"], spec.seed
+    )
+
+
+register(
+    ExperimentDef(
+        exp_id="E2",
+        title="Thm 4.1: per-phase P[level advances] ≥ µ",
+        make_tasks=_e2_tasks,
+        run_task=_e2_run,
+        summary_metrics=("advance_rate",),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# E16 — resilience scenarios (task function lives with the harness)
+# ----------------------------------------------------------------------
+
+E16_SCENARIOS = ("churn", "fading", "jammer", "blackout", "partition")
+
+
+def _e16_tasks(
+    seed: int, replications: int, quick: bool = False, **_: Any
+) -> List[TaskSpec]:
+    scenarios = ("fading", "partition") if quick else E16_SCENARIOS
+    cases = [{"scenario": name} for name in scenarios]
+    return task_grid("E16", cases, replications, seed)
+
+
+def _e16_run(spec: TaskSpec) -> Dict[str, Any]:
+    from repro.analysis.resilience import scenario_metrics
+
+    return scenario_metrics(spec.params["scenario"], spec.seed)
+
+
+register(
+    ExperimentDef(
+        exp_id="E16",
+        title="resilience: collection under injected faults",
+        make_tasks=_e16_tasks,
+        run_task=_e16_run,
+        summary_metrics=("delivery_ratio", "slowdown", "repairs"),
+    )
+)

@@ -1,0 +1,368 @@
+"""The sharded executor: inline for tests, process-parallel for sweeps.
+
+``run_tasks`` drives a task list through one code path with three gears:
+
+* ``workers=0`` — run every task inline, in task order.  This is what
+  unit tests and small benches use; no processes, no pickling.
+* ``workers>=1`` — shard cache misses over a ``ProcessPoolExecutor`` in
+  chunks (several tasks per round trip, so IPC overhead amortizes), and
+  collect results as they complete.
+* warm cache — tasks whose content key is already stored replay without
+  executing at all, in either gear.
+
+Because every task carries its own pre-derived seed, the three gears
+produce *bit-identical* outcome tables; only wall-clock time differs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ConfigurationError, ReproError
+from repro.runner.cache import ResultCache
+from repro.runner.registry import get_experiment, run_registered_task
+from repro.runner.task import TaskSpec
+from repro.runner.telemetry import Progress, RunTelemetry
+
+RunFn = Callable[[TaskSpec], Mapping[str, Any]]
+
+
+class TaskExecutionError(ReproError):
+    """A task raised inside the executor (original traceback included)."""
+
+
+def _package_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """One finished task: spec, metrics, and how it was obtained."""
+
+    spec: TaskSpec
+    metrics: Mapping[str, Any]
+    wall_time: float
+    cached: bool
+    key: str
+
+
+@dataclass
+class RunReport:
+    """All outcomes of one run, in task (grid) order."""
+
+    exp_id: str
+    version: str
+    workers: int
+    outcomes: List[TaskOutcome]
+    executed: int
+    cache_hits: int
+    wall_time: float
+
+    def grouped(self) -> Dict[str, List[TaskOutcome]]:
+        """Outcomes per grid case, preserving grid order throughout."""
+        groups: Dict[str, List[TaskOutcome]] = {}
+        for outcome in self.outcomes:
+            groups.setdefault(outcome.spec.case_label(), []).append(outcome)
+        return groups
+
+    def metric(
+        self, name: str, case_label: Optional[str] = None
+    ) -> List[float]:
+        """All values of one metric (optionally restricted to a case)."""
+        return [
+            float(outcome.metrics[name])
+            for outcome in self.outcomes
+            if name in outcome.metrics
+            and (case_label is None or outcome.spec.case_label() == case_label)
+        ]
+
+    def case_means(self, name: str) -> Dict[str, float]:
+        """Per-case mean of one metric, in grid order."""
+        means: Dict[str, float] = {}
+        for label, outcomes in self.grouped().items():
+            samples = [
+                float(o.metrics[name]) for o in outcomes if name in o.metrics
+            ]
+            if samples:
+                means[label] = sum(samples) / len(samples)
+        return means
+
+    def summary_table(
+        self, metrics: Optional[Sequence[str]] = None
+    ) -> str:
+        """A deterministic per-case summary table (mean ± CI half-width).
+
+        The rendering depends only on the grid and the metric values —
+        never on worker count, completion order, or cache state — so it
+        doubles as the bit-identical fingerprint the determinism tests
+        compare across sharding configurations.
+        """
+        from repro.analysis.stats import summarize
+        from repro.analysis.tables import format_table
+
+        groups = self.grouped()
+        if metrics is None:
+            # Sorted, not insertion order: cached records round-trip
+            # through sort_keys JSON, and the table must not depend on
+            # whether an outcome was computed or replayed.
+            metrics = sorted(
+                {
+                    name
+                    for outcomes in groups.values()
+                    for outcome in outcomes
+                    for name in outcome.metrics
+                }
+            )
+        rows = []
+        for label, outcomes in groups.items():
+            row: List[Any] = [label, len(outcomes)]
+            for name in metrics:
+                samples = [
+                    float(o.metrics[name])
+                    for o in outcomes
+                    if name in o.metrics
+                ]
+                if not samples:
+                    row.append("-")
+                    continue
+                stats = summarize(samples)
+                row.append(f"{stats.mean:.4f}±{stats.ci_half_width:.4f}")
+            rows.append(row)
+        return format_table(
+            ["case", "n"] + list(metrics),
+            rows,
+            title=f"{self.exp_id}: {len(self.outcomes)} tasks",
+        )
+
+
+def _run_chunk(
+    run_fn: RunFn, records: List[Dict[str, Any]]
+) -> List[Tuple[Dict[str, Any], float]]:
+    """Worker entry point: execute one shard of task records."""
+    results: List[Tuple[Dict[str, Any], float]] = []
+    for record in records:
+        spec = TaskSpec.from_record(record)
+        started = time.perf_counter()
+        try:
+            metrics = run_fn(spec)
+        except Exception as exc:  # surface which task died, with context
+            raise TaskExecutionError(
+                f"task {spec.label()} (seed {spec.seed}) failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        results.append((dict(metrics), time.perf_counter() - started))
+    return results
+
+
+def _coerce_cache(
+    cache: Union[ResultCache, os.PathLike, str, None]
+) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _coerce_telemetry(
+    telemetry: Union[RunTelemetry, os.PathLike, str, None]
+) -> Optional[RunTelemetry]:
+    if telemetry is None or isinstance(telemetry, RunTelemetry):
+        return telemetry
+    return RunTelemetry(telemetry)
+
+
+def run_tasks(
+    tasks: Sequence[TaskSpec],
+    run_fn: RunFn,
+    *,
+    workers: int = 0,
+    cache: Union[ResultCache, os.PathLike, str, None] = None,
+    telemetry: Union[RunTelemetry, os.PathLike, str, None] = None,
+    progress: bool = False,
+    version: Optional[str] = None,
+    options: Optional[Mapping[str, Any]] = None,
+    chunk_size: Optional[int] = None,
+) -> RunReport:
+    """Execute a task grid and return its :class:`RunReport`.
+
+    ``run_fn`` must be pure in the task spec; for ``workers >= 1`` it
+    must also be picklable (a top-level function or a
+    ``functools.partial`` over one — registered experiments satisfy this
+    by construction).  Cache hits never execute; fresh outcomes are
+    stored back as soon as they complete, so an interrupted run resumes
+    from wherever it died.
+    """
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    started = time.perf_counter()
+    version = version if version is not None else _package_version()
+    exp_id = tasks[0].exp_id if tasks else "(empty)"
+    cache = _coerce_cache(cache)
+    telemetry = _coerce_telemetry(telemetry)
+    meter = Progress(len(tasks), enabled=progress)
+    if telemetry is not None:
+        telemetry.start(
+            exp_id=exp_id,
+            version=version,
+            total_tasks=len(tasks),
+            workers=workers,
+            options=options,
+        )
+
+    keys = [spec.key(version) for spec in tasks]
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+    pending: List[int] = []
+    cache_hits = 0
+    for index, (spec, key) in enumerate(zip(tasks, keys)):
+        record = cache.get(key) if cache is not None else None
+        if record is not None:
+            outcome = TaskOutcome(
+                spec=spec,
+                metrics=record["metrics"],
+                wall_time=float(record.get("wall_time", 0.0)),
+                cached=True,
+                key=key,
+            )
+            outcomes[index] = outcome
+            cache_hits += 1
+            if telemetry is not None:
+                telemetry.record_task(
+                    spec.to_record(),
+                    outcome.metrics,
+                    outcome.wall_time,
+                    cached=True,
+                    key=key,
+                )
+            meter.update()
+        else:
+            pending.append(index)
+
+    def _complete(index: int, metrics: Dict[str, Any], wall: float) -> None:
+        spec, key = tasks[index], keys[index]
+        outcomes[index] = TaskOutcome(
+            spec=spec, metrics=metrics, wall_time=wall, cached=False, key=key
+        )
+        if cache is not None:
+            cache.put(
+                key,
+                {
+                    "spec": spec.to_record(),
+                    "metrics": metrics,
+                    "wall_time": wall,
+                    "version": version,
+                },
+            )
+        if telemetry is not None:
+            telemetry.record_task(
+                spec.to_record(), metrics, wall, cached=False, key=key
+            )
+        meter.update()
+
+    try:
+        if workers == 0 or len(pending) <= 1:
+            for index in pending:
+                (metrics, wall), = _run_chunk(
+                    run_fn, [tasks[index].to_record()]
+                )
+                _complete(index, metrics, wall)
+        else:
+            if chunk_size is None:
+                # ~4 chunks per worker: coarse enough to amortize IPC,
+                # fine enough that a slow shard cannot straggle the run.
+                chunk_size = max(
+                    1, math.ceil(len(pending) / (workers * 4))
+                )
+            chunks = [
+                pending[start:start + chunk_size]
+                for start in range(0, len(pending), chunk_size)
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        _run_chunk,
+                        run_fn,
+                        [tasks[i].to_record() for i in chunk],
+                    ): chunk
+                    for chunk in chunks
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        chunk = futures[future]
+                        for index, (metrics, wall) in zip(
+                            chunk, future.result()
+                        ):
+                            _complete(index, metrics, wall)
+    finally:
+        meter.finish()
+
+    executed = len(pending)
+    report = RunReport(
+        exp_id=exp_id,
+        version=version,
+        workers=workers,
+        outcomes=[outcome for outcome in outcomes if outcome is not None],
+        executed=executed,
+        cache_hits=cache_hits,
+        wall_time=time.perf_counter() - started,
+    )
+    if telemetry is not None:
+        telemetry.finish(executed=executed, cache_hits=cache_hits)
+    return report
+
+
+def run_experiment(
+    exp_id: str,
+    *,
+    seed: int,
+    replications: int,
+    workers: int = 0,
+    cache: Union[ResultCache, os.PathLike, str, None] = None,
+    telemetry: Union[RunTelemetry, os.PathLike, str, None] = None,
+    progress: bool = False,
+    **options: Any,
+) -> RunReport:
+    """Run one *registered* experiment end to end.
+
+    This is the code path shared by ``python -m repro run``, the migrated
+    benches, and tests: the experiment's grid is expanded with
+    deterministic per-task seeds, executed (inline or sharded), cached,
+    and reported.
+    """
+    import functools
+
+    defn = get_experiment(exp_id)
+    tasks = defn.tasks(seed, replications, **options)
+    run_fn = functools.partial(run_registered_task, exp_id)
+    return run_tasks(
+        tasks,
+        run_fn,
+        workers=workers,
+        cache=cache,
+        telemetry=telemetry,
+        progress=progress,
+        options={
+            "seed": seed,
+            "replications": replications,
+            **options,
+        },
+    )

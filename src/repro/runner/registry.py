@@ -1,0 +1,79 @@
+"""The experiment-definition registry behind ``python -m repro run``.
+
+A *runnable experiment* pairs a grid builder with a pure task function:
+
+* ``make_tasks(seed, replications, **options)`` expands the experiment
+  into its :class:`~repro.runner.task.TaskSpec` grid;
+* ``run_task(spec)`` executes one task and returns its metrics dict.
+
+Both are plain top-level functions, so a task can be shipped to a worker
+process as ``(exp_id, spec)`` and resolved there by name — no closures
+cross the process boundary.  The built-in definitions live in
+:mod:`repro.runner.defs` and are loaded on first lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runner.task import TaskSpec
+
+TaskFn = Callable[[TaskSpec], Mapping[str, Any]]
+GridFn = Callable[..., List[TaskSpec]]
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One runnable experiment: its grid builder and task function."""
+
+    exp_id: str
+    title: str
+    make_tasks: GridFn
+    run_task: TaskFn
+    #: Metric names, in display order, for summary tables.
+    summary_metrics: Tuple[str, ...] = field(default_factory=tuple)
+
+    def tasks(
+        self, seed: int, replications: int, **options: Any
+    ) -> List[TaskSpec]:
+        return self.make_tasks(seed, replications, **options)
+
+
+_REGISTRY: Dict[str, ExperimentDef] = {}
+_BOOTSTRAPPED = False
+
+
+def register(defn: ExperimentDef) -> ExperimentDef:
+    """Add ``defn`` to the registry (last registration wins)."""
+    _REGISTRY[defn.exp_id] = defn
+    return defn
+
+
+def _bootstrap() -> None:
+    global _BOOTSTRAPPED
+    if not _BOOTSTRAPPED:
+        _BOOTSTRAPPED = True
+        import repro.runner.defs  # noqa: F401  (registers on import)
+
+
+def get_experiment(exp_id: str) -> ExperimentDef:
+    """Look up a runnable experiment by id."""
+    _bootstrap()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"no runnable experiment {exp_id!r}; known: {registered_ids()}"
+        ) from None
+
+
+def registered_ids() -> List[str]:
+    _bootstrap()
+    return sorted(_REGISTRY)
+
+
+def run_registered_task(exp_id: str, spec: TaskSpec) -> Mapping[str, Any]:
+    """Execute one task of a registered experiment (worker entry point)."""
+    return get_experiment(exp_id).run_task(spec)
