@@ -62,3 +62,29 @@ def test_e0_engine_throughput(benchmark):
     benchmark(
         lambda: run_collection(graph, tree, sources, seed=3).slots
     )
+
+
+def test_e0_neighbor_cache_guard(benchmark):
+    """Guard: neighbor tuples are derived once per topology, not per slot.
+
+    The reception loop iterates per-node neighbor tuples millions of
+    times; they must come from the cache built at topology-assignment
+    time.  The identity checks pin the contract (same cache object
+    across slots; rebuilt exactly when ``graph`` is reassigned) and the
+    benchmark tracks the cached hot path so a regression that re-derives
+    adjacency per slot shows up as a step change.
+    """
+    graph = grid(12, 12)
+    network = RadioNetwork(graph)
+    network.attach_all(SilentProcess)
+    cached = network._neighbors
+    network.run(200)
+    assert network._neighbors is cached, "cache rebuilt inside slot loop"
+    network.graph = grid(12, 12)
+    assert network._neighbors is not cached, (
+        "topology change must rebuild the neighbor cache"
+    )
+
+    bench_network = RadioNetwork(grid(12, 12))
+    bench_network.attach_all(SilentProcess)
+    benchmark(lambda: bench_network.run(200))

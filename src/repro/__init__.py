@@ -16,6 +16,9 @@ The package provides:
   move-vector calculus behind it);
 * :mod:`repro.baselines` — the comparison protocols (TDMA convergecast,
   sequential store-and-forward routing, non-pipelined broadcast, ALOHA);
+* :mod:`repro.vector` — the NumPy lockstep batch engine: B replications
+  of a grid cell simulated simultaneously, with an equivalence harness
+  (exact invariants + KS test) tying it to the scalar reference;
 * :mod:`repro.analysis` — replication, statistics and table harnesses for
   the experiments indexed in DESIGN.md / EXPERIMENTS.md.
 
@@ -33,7 +36,7 @@ Quickstart::
     print(result.slots, [m.payload for m in result.delivered])
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro import core, graphs, radio
 from repro.errors import (

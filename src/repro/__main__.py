@@ -14,11 +14,15 @@ Commands
     Run collection under the standard fault scenarios (churn, fading,
     jamming, blackout, partition) and report delivery ratio, slowdown
     vs. the failure-free baseline, repairs and partition detection.
-``run <EXP_ID> [--workers N] [--cache DIR] …``
+``run <EXP_ID> [--engine vector] [--workers N] [--cache DIR] …``
     Run a registered experiment grid through the parallel runner:
     sharded execution, content-addressed result cache, JSONL telemetry.
-    ``run --list`` shows the runnable experiments;
+    ``--engine vector`` batches every seed of a grid cell into one NumPy
+    lockstep call.  ``run --list`` shows the runnable experiments;
     ``run <EXP_ID> --help`` shows all options.
+``vector-check [seed]``
+    Run the vector-engine equivalence harness: exact invariants on
+    traced batch runs plus the scalar-vs-vector KS test on E2/E3 cells.
 ``experiments``
     List the experiment registry (id, claim, bench file).
 ``validate``
@@ -146,12 +150,14 @@ def _cmd_resilience(seed: int) -> None:
 def _cmd_run(argv: list) -> int:
     import argparse
 
+    from repro.errors import ConfigurationError
     from repro.runner import (
         get_experiment,
         registered_ids,
         run_experiment,
         write_bench_summary,
     )
+    from repro.vector import ENGINES
 
     parser = argparse.ArgumentParser(
         prog="python -m repro run",
@@ -166,6 +172,16 @@ def _cmd_run(argv: list) -> int:
     )
     parser.add_argument(
         "--list", action="store_true", help="list runnable experiments"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="scalar",
+        help=(
+            "simulation engine: 'scalar' steps each task's slot loop in "
+            "Python; 'vector' batches all seeds of a grid cell into one "
+            "NumPy lockstep run (default: scalar)"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -224,22 +240,35 @@ def _cmd_run(argv: list) -> int:
             print(f"  {exp_id:<5} {defn.title}{detail}")
         return 0 if args.list else 2
 
-    report = run_experiment(
-        args.exp_id,
-        seed=args.seed,
-        replications=args.replications,
-        workers=args.workers,
-        cache=args.cache,
-        telemetry=args.run_dir,
-        progress=not args.no_progress,
-        quick=args.quick,
-    )
+    if args.exp_id not in registered_ids():
+        print(
+            f"unknown experiment {args.exp_id!r}.\n"
+            f"runnable experiments: {', '.join(registered_ids())}\n"
+            "(use 'python -m repro run --list' for descriptions)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_experiment(
+            args.exp_id,
+            seed=args.seed,
+            replications=args.replications,
+            workers=args.workers,
+            cache=args.cache,
+            telemetry=args.run_dir,
+            progress=not args.no_progress,
+            engine=args.engine,
+            quick=args.quick,
+        )
+    except ConfigurationError as exc:
+        print(f"cannot run {args.exp_id!r}: {exc}", file=sys.stderr)
+        return 2
     defn = get_experiment(args.exp_id)
     print(report.summary_table(defn.summary_metrics or None))
     print(
         f"{len(report.outcomes)} tasks: {report.executed} executed, "
-        f"{report.cache_hits} from cache; workers={report.workers}; "
-        f"wall {report.wall_time:.2f}s"
+        f"{report.cache_hits} from cache; engine={args.engine}; "
+        f"workers={report.workers}; wall {report.wall_time:.2f}s"
     )
     if args.run_dir:
         print(f"telemetry: {args.run_dir}/telemetry.jsonl")
@@ -247,6 +276,14 @@ def _cmd_run(argv: list) -> int:
         write_bench_summary(report, args.json)
         print(f"summary json: {args.json}")
     return 0
+
+
+def _cmd_vector_check(seed: int) -> int:
+    from repro.vector.check import run_equivalence
+
+    report = run_equivalence(seed=seed)
+    print(report.summary())
+    return 0 if report.passed else 1
 
 
 def _cmd_info() -> None:
@@ -279,6 +316,8 @@ def main(argv: list) -> int:
         _cmd_map(seed)
     elif command == "resilience":
         _cmd_resilience(seed)
+    elif command == "vector-check":
+        return _cmd_vector_check(seed)
     elif command == "experiments":
         from repro.analysis.experiments import registry_table
 

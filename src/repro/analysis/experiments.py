@@ -145,6 +145,14 @@ REGISTRY: List[Experiment] = [
         "bench_resilience.py",
         ("repro.core.repair", "repro.analysis.resilience"),
     ),
+    Experiment(
+        "E17",
+        "vector lockstep engine ≥ 10× scalar replications/sec, "
+        "distributionally equivalent (invariants + KS)",
+        "(not a paper claim)",
+        "bench_vector.py",
+        ("repro.vector", "repro.runner"),
+    ),
 ]
 
 

@@ -112,6 +112,65 @@ def total_variation_distance(
     return 0.5 * sum(abs(a - b) for a, b in zip(padded_p, padded_q))
 
 
+@dataclass(frozen=True)
+class KSResult:
+    """Two-sample Kolmogorov–Smirnov outcome."""
+
+    statistic: float  # sup |F1 - F2|
+    pvalue: float  # asymptotic two-sided p-value
+    n1: int
+    n2: int
+
+    def rejects(self, alpha: float = 0.01) -> bool:
+        return self.pvalue < alpha
+
+
+def _ks_pvalue(lam: float) -> float:
+    """Asymptotic Kolmogorov Q(λ) = 2·Σ (−1)^{j−1}·exp(−2 j² λ²)."""
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    for j in range(1, 101):
+        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(1.0, max(0.0, total))
+
+
+def ks_2sample(
+    sample1: Sequence[float], sample2: Sequence[float]
+) -> KSResult:
+    """Two-sample KS test: are the samples from one distribution?
+
+    Exact D statistic over the pooled support; asymptotic two-sided
+    p-value via the Kolmogorov distribution with the standard
+    small-sample correction ``λ = (√n_e + 0.12 + 0.11/√n_e)·D``
+    (Numerical Recipes §14.3).  The vector-engine equivalence harness
+    uses this to compare scalar vs vector completion-slot distributions;
+    ties (both samples are integer slot counts) are handled by stepping
+    both empirical CDFs through the pooled sorted values.
+    """
+    if not sample1 or not sample2:
+        raise ConfigurationError("KS test requires two non-empty samples")
+    xs = sorted(float(v) for v in sample1)
+    ys = sorted(float(v) for v in sample2)
+    n1, n2 = len(xs), len(ys)
+    i = j = 0
+    d = 0.0
+    while i < n1 and j < n2:
+        value = min(xs[i], ys[j])
+        while i < n1 and xs[i] <= value:
+            i += 1
+        while j < n2 and ys[j] <= value:
+            j += 1
+        d = max(d, abs(i / n1 - j / n2))
+    effective = n1 * n2 / (n1 + n2)
+    root = math.sqrt(effective)
+    lam = (root + 0.12 + 0.11 / root) * d
+    return KSResult(statistic=d, pvalue=_ks_pvalue(lam), n1=n1, n2=n2)
+
+
 def replicate(fn, seeds: Sequence[int]) -> List[float]:
     """Run ``fn(seed)`` for each seed, collecting float results."""
     return [float(fn(seed)) for seed in seeds]

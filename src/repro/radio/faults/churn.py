@@ -8,7 +8,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.graphs.graph import NodeId
 from repro.radio.failures import FailureModel
-from repro.rng import derive_seed
+from repro.rng import child_rng
 
 
 class MarkovChurn(FailureModel):
@@ -65,7 +65,7 @@ class MarkovChurn(FailureModel):
             node: node in set(start_down) for node in self.nodes
         }
         self._rng: Dict[NodeId, random.Random] = {
-            node: random.Random(derive_seed(seed, "churn", node))
+            node: child_rng(seed, "churn", node)
             for node in self.nodes
         }
         # Slot up to which each chain has been advanced (state applies to

@@ -8,7 +8,7 @@ from typing import Dict, Tuple
 from repro.errors import ConfigurationError
 from repro.graphs.graph import NodeId
 from repro.radio.failures import FailureModel
-from repro.rng import derive_seed
+from repro.rng import child_rng
 
 
 class GilbertElliott(FailureModel):
@@ -57,7 +57,7 @@ class GilbertElliott(FailureModel):
     def _state(self, link: Tuple[NodeId, NodeId], slot: int) -> Tuple[random.Random, bool]:
         entry = self._links.get(link)
         if entry is None:
-            rng = random.Random(derive_seed(self.seed, "link", link))
+            rng = child_rng(self.seed, "link", link)
             bad, advanced = False, 0
         else:
             rng, bad, advanced = entry

@@ -83,7 +83,6 @@ class RadioNetwork:
             raise ConfigurationError(
                 f"need at least one channel, got {num_channels}"
             )
-        self.graph = graph
         self.num_channels = num_channels
         self.trace = trace
         self.failures = failures
@@ -95,12 +94,23 @@ class RadioNetwork:
         self.slot = 0
         self.stats = NetworkStats()
         self._processes: Dict[NodeId, Process] = {}
-        # Full-attachment is validated lazily: once per topology change,
-        # not in the per-slot hot loop (the check is an O(n) set
-        # difference, measurable at millions of slots per run).
+        self.graph = graph
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @graph.setter
+    def graph(self, graph: Graph) -> None:
+        # Derived per-topology state is rebuilt exactly once per topology
+        # change, never in the per-slot hot loop:
+        # * the neighbor-tuple cache — the inner reception loop iterates
+        #   these millions of times and must not re-derive them from the
+        #   graph per slot;
+        # * the full-attachment check — an O(n) set difference, re-armed
+        #   so a swapped topology is re-validated before the next step.
+        self._graph = graph
         self._attachment_validated = False
-        # Cache adjacency as plain lists once; the inner loop iterates them
-        # millions of times.
         self._neighbors: Dict[NodeId, tuple] = {
             node: graph.neighbors(node) for node in graph.nodes
         }

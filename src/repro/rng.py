@@ -17,8 +17,9 @@ to correlated low-entropy seeds.
 from __future__ import annotations
 
 import hashlib
+import json
 import random
-from typing import Iterator
+from typing import Any, Iterator
 
 
 def derive_seed(root_seed: int, *key_parts: object) -> int:
@@ -39,6 +40,33 @@ def derive_seed(root_seed: int, *key_parts: object) -> int:
 def child_rng(root_seed: int, *key_parts: object) -> random.Random:
     """Return a fresh ``random.Random`` for the stream named by the key."""
     return random.Random(derive_seed(root_seed, *key_parts))
+
+
+def np_rng(root_seed: int, *key_parts: object):
+    """A NumPy ``Generator`` for the stream named by the key.
+
+    The batch (vector) engine draws whole coin matrices at once; its
+    streams use the same sha256 derivation as :func:`child_rng`, so a
+    vector replication's randomness is a pure function of its task seed
+    — independent of batch size and of its position within a batch.
+    NumPy streams are *statistically* equivalent to, never bit-identical
+    with, the ``random.Random`` streams of the scalar engine.
+    """
+    import numpy as np
+
+    return np.random.default_rng(derive_seed(root_seed, *key_parts))
+
+
+def content_key(payload: Any) -> str:
+    """The sha256 hex digest of ``payload``'s canonical JSON form.
+
+    The one content-addressing helper shared by the runner's task keys
+    and any other component that needs a stable digest of a JSON-safe
+    structure: keys are canonical (sorted, compact separators), so two
+    semantically equal payloads always collide.
+    """
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
 
 
 class RngFactory:

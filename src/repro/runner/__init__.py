@@ -8,8 +8,14 @@ making interrupted sweeps resumable and repeat runs near-free, and run
 telemetry (:mod:`repro.runner.telemetry`) recording per-task JSONL,
 a run manifest, and live progress.
 
-The CLI front end is ``python -m repro run <EXP_ID> --workers N``;
-runnable experiments are registered in :mod:`repro.runner.defs`.
+Each task selects its simulation ``engine``: ``"scalar"`` (the
+reference slot loop) or ``"vector"`` (the NumPy lockstep batch of
+:mod:`repro.vector`, evaluating every seed of a grid cell in one call).
+The engine is part of the task identity and hence the cache key.
+
+The CLI front end is ``python -m repro run <EXP_ID> --workers N
+[--engine vector]``; runnable experiments are registered in
+:mod:`repro.runner.defs`.
 """
 
 from repro.runner.cache import ResultCache
@@ -25,6 +31,7 @@ from repro.runner.registry import (
     get_experiment,
     register,
     registered_ids,
+    run_registered_batch,
     run_registered_task,
 )
 from repro.runner.task import TaskSpec, task_grid
@@ -53,6 +60,7 @@ __all__ = [
     "register",
     "registered_ids",
     "run_experiment",
+    "run_registered_batch",
     "run_registered_task",
     "run_tasks",
     "task_grid",

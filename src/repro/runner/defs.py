@@ -40,6 +40,7 @@ from repro.graphs import (
 )
 from repro.runner.registry import ExperimentDef, register
 from repro.runner.task import TaskSpec, task_grid
+from repro.vector.collection import BatchCollection, run_collection_batch
 
 # ----------------------------------------------------------------------
 # Topologies by name
@@ -157,6 +158,60 @@ def _e3_run(spec: TaskSpec) -> Dict[str, Any]:
     )
 
 
+def collection_metrics_batch(
+    topology: str, k: int, classes: int, seeds: List[int]
+) -> List[Dict[str, Any]]:
+    """All seeds of one E3 cell in NumPy lockstep batches.
+
+    Seed-dependent topology families (``rgg-N``, ``rtree-N``) realize a
+    different graph per seed, so seeds are bucketed by the graph they
+    realize and each bucket runs as one batch; deterministic families
+    collapse into a single batch.
+    """
+    buckets: Dict[Graph, List[int]] = {}
+    for position, seed in enumerate(seeds):
+        graph = build_topology(topology, random.Random(seed))
+        buckets.setdefault(graph, []).append(position)
+    results: List[Dict[str, Any]] = [{} for _ in seeds]
+    for graph, positions in buckets.items():
+        tree = reference_bfs_tree(graph, 0)
+        deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
+        sources = {deepest: [f"m{i}" for i in range(k)]}
+        batch = run_collection_batch(
+            graph,
+            tree,
+            sources,
+            [seeds[position] for position in positions],
+            level_classes=classes,
+        )
+        log_delta = math.log2(max(2, graph.max_degree()))
+        denominator = (k + tree.depth) * log_delta
+        for position, slots in zip(positions, batch.completion_slots):
+            results[position] = {
+                "slots": int(slots),
+                "depth": tree.depth,
+                "log_delta": log_delta,
+                "constant": int(slots) / denominator,
+            }
+    return results
+
+
+def _e3_run_batch(specs: List[TaskSpec]) -> List[Dict[str, Any]]:
+    grouped: Dict[tuple, List[int]] = {}
+    for index, spec in enumerate(specs):
+        params = spec.params
+        cell = (params["topology"], params["k"], params["classes"])
+        grouped.setdefault(cell, []).append(index)
+    results: List[Dict[str, Any]] = [{} for _ in specs]
+    for (topology, k, classes), indices in grouped.items():
+        cell_results = collection_metrics_batch(
+            topology, k, classes, [specs[i].seed for i in indices]
+        )
+        for index, metrics in zip(indices, cell_results):
+            results[index] = metrics
+    return results
+
+
 register(
     ExperimentDef(
         exp_id="E3",
@@ -164,6 +219,7 @@ register(
         make_tasks=_e3_tasks,
         run_task=_e3_run,
         summary_metrics=("slots", "constant"),
+        run_batch=_e3_run_batch,
     )
 )
 
@@ -240,6 +296,66 @@ def _e2_run(spec: TaskSpec) -> Dict[str, Any]:
     )
 
 
+def advance_rate_metrics_batch(
+    parents: int, children: int, load: int, seeds: List[int]
+) -> List[Dict[str, Any]]:
+    """All seeds of one E2 cell as a single lockstep batch.
+
+    Mirrors :func:`advance_rate_metrics` per replication: a phase counts
+    as an advance iff the summed level-2 backlog strictly drops, and a
+    replication stops accruing phases once its level 2 drains (or at the
+    5000-phase cap).
+    """
+    import numpy as np
+
+    graph = contention_graph(parents, children)
+    tree = reference_bfs_tree(graph, 0)
+    child_ids = [node for node in graph.nodes if tree.level[node] == 2]
+    sources = {
+        child: [f"m{child}-{i}" for i in range(load)] for child in child_ids
+    }
+    simulation = BatchCollection(graph, tree, sources, seeds)
+    B = len(seeds)
+    successes = np.zeros(B, dtype=np.int64)
+    phases = np.zeros(B, dtype=np.int64)
+    active = simulation.backlog_at(child_ids) > 0
+    global_phases = 0
+    while active.any() and global_phases < 5_000:
+        before = simulation.backlog_at(child_ids)
+        for _ in range(simulation.phase_length):
+            simulation.step()
+        after = simulation.backlog_at(child_ids)
+        global_phases += 1
+        phases[active] += 1
+        successes[active & (after < before)] += 1
+        active &= after > 0
+    delta = graph.max_degree()
+    return [
+        {
+            "advance_rate": int(successes[b]) / max(1, int(phases[b])),
+            "phases": int(phases[b]),
+            "delta": delta,
+        }
+        for b in range(B)
+    ]
+
+
+def _e2_run_batch(specs: List[TaskSpec]) -> List[Dict[str, Any]]:
+    grouped: Dict[tuple, List[int]] = {}
+    for index, spec in enumerate(specs):
+        params = spec.params
+        cell = (params["parents"], params["children"], params["load"])
+        grouped.setdefault(cell, []).append(index)
+    results: List[Dict[str, Any]] = [{} for _ in specs]
+    for (parents, children, load), indices in grouped.items():
+        cell_results = advance_rate_metrics_batch(
+            parents, children, load, [specs[i].seed for i in indices]
+        )
+        for index, metrics in zip(indices, cell_results):
+            results[index] = metrics
+    return results
+
+
 register(
     ExperimentDef(
         exp_id="E2",
@@ -247,6 +363,7 @@ register(
         make_tasks=_e2_tasks,
         run_task=_e2_run,
         summary_metrics=("advance_rate",),
+        run_batch=_e2_run_batch,
     )
 )
 

@@ -35,11 +35,17 @@ from typing import (
 
 from repro.errors import ConfigurationError, ReproError
 from repro.runner.cache import ResultCache
-from repro.runner.registry import get_experiment, run_registered_task
+from repro.runner.registry import (
+    get_experiment,
+    run_registered_batch,
+    run_registered_task,
+)
 from repro.runner.task import TaskSpec
 from repro.runner.telemetry import Progress, RunTelemetry
+from repro.vector.engine import validate_engine
 
 RunFn = Callable[[TaskSpec], Mapping[str, Any]]
+BatchFn = Callable[[List[TaskSpec]], List[Mapping[str, Any]]]
 
 
 class TaskExecutionError(ReproError):
@@ -152,6 +158,32 @@ class RunReport:
         )
 
 
+def _run_batch_chunk(
+    batch_fn: BatchFn, records: List[Dict[str, Any]]
+) -> List[Tuple[Dict[str, Any], float]]:
+    """Worker entry point: one batched (vector-engine) group of records.
+
+    Wall time is amortized evenly over the group — a batch is one engine
+    call, so per-task attribution is necessarily approximate.
+    """
+    specs = [TaskSpec.from_record(record) for record in records]
+    started = time.perf_counter()
+    try:
+        metrics_list = batch_fn(specs)
+    except Exception as exc:
+        raise TaskExecutionError(
+            f"batch of {len(specs)} tasks ({specs[0].label()} ...) "
+            f"failed: {type(exc).__name__}: {exc}"
+        ) from exc
+    if len(metrics_list) != len(specs):
+        raise TaskExecutionError(
+            f"batch function returned {len(metrics_list)} results for "
+            f"{len(specs)} tasks"
+        )
+    wall = (time.perf_counter() - started) / max(1, len(specs))
+    return [(dict(metrics), wall) for metrics in metrics_list]
+
+
 def _run_chunk(
     run_fn: RunFn, records: List[Dict[str, Any]]
 ) -> List[Tuple[Dict[str, Any], float]]:
@@ -198,6 +230,7 @@ def run_tasks(
     version: Optional[str] = None,
     options: Optional[Mapping[str, Any]] = None,
     chunk_size: Optional[int] = None,
+    batch_fn: Optional[BatchFn] = None,
 ) -> RunReport:
     """Execute a task grid and return its :class:`RunReport`.
 
@@ -207,6 +240,12 @@ def run_tasks(
     by construction).  Cache hits never execute; fresh outcomes are
     stored back as soon as they complete, so an interrupted run resumes
     from wherever it died.
+
+    Tasks with ``engine="vector"`` require ``batch_fn``: all pending
+    vector tasks of one grid cell are evaluated in a single batched call
+    (one NumPy lockstep run over every seed of the cell) rather than
+    task by task.  Cached vector outcomes replay like any other — the
+    engine is part of the cache key.
     """
     if workers < 0:
         raise ConfigurationError(f"workers must be >= 0, got {workers}")
@@ -253,6 +292,24 @@ def run_tasks(
         else:
             pending.append(index)
 
+    # Split pending work by engine: vector tasks batch per grid cell.
+    scalar_pending: List[int] = []
+    batch_groups: List[List[int]] = []
+    vector_by_case: Dict[str, List[int]] = {}
+    for index in pending:
+        if tasks[index].engine == "vector":
+            vector_by_case.setdefault(
+                tasks[index].case_label(), []
+            ).append(index)
+        else:
+            scalar_pending.append(index)
+    if vector_by_case:
+        if batch_fn is None:
+            raise ConfigurationError(
+                "tasks with engine='vector' need a batch_fn"
+            )
+        batch_groups = list(vector_by_case.values())
+
     def _complete(index: int, metrics: Dict[str, Any], wall: float) -> None:
         spec, key = tasks[index], keys[index]
         outcomes[index] = TaskOutcome(
@@ -276,7 +333,13 @@ def run_tasks(
 
     try:
         if workers == 0 or len(pending) <= 1:
-            for index in pending:
+            for group in batch_groups:
+                results = _run_batch_chunk(
+                    batch_fn, [tasks[i].to_record() for i in group]
+                )
+                for index, (metrics, wall) in zip(group, results):
+                    _complete(index, metrics, wall)
+            for index in scalar_pending:
                 (metrics, wall), = _run_chunk(
                     run_fn, [tasks[index].to_record()]
                 )
@@ -286,11 +349,11 @@ def run_tasks(
                 # ~4 chunks per worker: coarse enough to amortize IPC,
                 # fine enough that a slow shard cannot straggle the run.
                 chunk_size = max(
-                    1, math.ceil(len(pending) / (workers * 4))
+                    1, math.ceil(len(scalar_pending) / (workers * 4))
                 )
             chunks = [
-                pending[start:start + chunk_size]
-                for start in range(0, len(pending), chunk_size)
+                scalar_pending[start:start + chunk_size]
+                for start in range(0, len(scalar_pending), chunk_size)
             ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
@@ -301,6 +364,14 @@ def run_tasks(
                     ): chunk
                     for chunk in chunks
                 }
+                # Each vector cell is one batched engine call — its own
+                # shard, never split below the cell.
+                for group in batch_groups:
+                    futures[pool.submit(
+                        _run_batch_chunk,
+                        batch_fn,
+                        [tasks[i].to_record() for i in group],
+                    )] = group
                 remaining = set(futures)
                 while remaining:
                     done, remaining = wait(
@@ -339,6 +410,7 @@ def run_experiment(
     cache: Union[ResultCache, os.PathLike, str, None] = None,
     telemetry: Union[RunTelemetry, os.PathLike, str, None] = None,
     progress: bool = False,
+    engine: str = "scalar",
     **options: Any,
 ) -> RunReport:
     """Run one *registered* experiment end to end.
@@ -346,12 +418,28 @@ def run_experiment(
     This is the code path shared by ``python -m repro run``, the migrated
     benches, and tests: the experiment's grid is expanded with
     deterministic per-task seeds, executed (inline or sharded), cached,
-    and reported.
+    and reported.  With ``engine="vector"`` every grid cell's seeds are
+    evaluated in one NumPy lockstep batch (the experiment must register
+    a ``run_batch`` function).
     """
+    import dataclasses
     import functools
 
+    validate_engine(engine)
     defn = get_experiment(exp_id)
     tasks = defn.tasks(seed, replications, **options)
+    batch_fn: Optional[BatchFn] = None
+    if engine != "scalar":
+        if not defn.supports_vector:
+            raise ConfigurationError(
+                f"experiment {exp_id!r} has no vector-engine "
+                "implementation; run it with engine='scalar'"
+            )
+        tasks = [
+            dataclasses.replace(spec, engine=engine) for spec in tasks
+        ]
+    if defn.supports_vector:
+        batch_fn = functools.partial(run_registered_batch, exp_id)
     run_fn = functools.partial(run_registered_task, exp_id)
     return run_tasks(
         tasks,
@@ -360,9 +448,11 @@ def run_experiment(
         cache=cache,
         telemetry=telemetry,
         progress=progress,
+        batch_fn=batch_fn,
         options={
             "seed": seed,
             "replications": replications,
+            "engine": engine,
             **options,
         },
     )

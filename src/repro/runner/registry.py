@@ -4,7 +4,11 @@ A *runnable experiment* pairs a grid builder with a pure task function:
 
 * ``make_tasks(seed, replications, **options)`` expands the experiment
   into its :class:`~repro.runner.task.TaskSpec` grid;
-* ``run_task(spec)`` executes one task and returns its metrics dict.
+* ``run_task(spec)`` executes one task and returns its metrics dict;
+* ``run_batch(specs)``, when present, executes a whole list of
+  same-case tasks in one call — the vector engine's entry point, which
+  lets ``--engine vector`` evaluate every seed of a grid cell in a
+  single NumPy lockstep batch.
 
 Both are plain top-level functions, so a task can be shipped to a worker
 process as ``(exp_id, spec)`` and resolved there by name — no closures
@@ -15,12 +19,13 @@ cross the process boundary.  The built-in definitions live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.runner.task import TaskSpec
 
 TaskFn = Callable[[TaskSpec], Mapping[str, Any]]
+BatchFn = Callable[[List[TaskSpec]], List[Mapping[str, Any]]]
 GridFn = Callable[..., List[TaskSpec]]
 
 
@@ -34,6 +39,13 @@ class ExperimentDef:
     run_task: TaskFn
     #: Metric names, in display order, for summary tables.
     summary_metrics: Tuple[str, ...] = field(default_factory=tuple)
+    #: Optional vector-engine entry point: evaluates a list of same-case
+    #: tasks in one batched call, returning metrics in task order.
+    run_batch: Optional[BatchFn] = None
+
+    @property
+    def supports_vector(self) -> bool:
+        return self.run_batch is not None
 
     def tasks(
         self, seed: int, replications: int, **options: Any
@@ -77,3 +89,16 @@ def registered_ids() -> List[str]:
 def run_registered_task(exp_id: str, spec: TaskSpec) -> Mapping[str, Any]:
     """Execute one task of a registered experiment (worker entry point)."""
     return get_experiment(exp_id).run_task(spec)
+
+
+def run_registered_batch(
+    exp_id: str, specs: List[TaskSpec]
+) -> List[Mapping[str, Any]]:
+    """Execute a batch of tasks of one experiment (worker entry point)."""
+    defn = get_experiment(exp_id)
+    if defn.run_batch is None:
+        raise ConfigurationError(
+            f"experiment {exp_id!r} has no batch (vector-engine) "
+            "implementation"
+        )
+    return defn.run_batch(specs)

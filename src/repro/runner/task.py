@@ -14,13 +14,13 @@ resumed or re-run.
 
 from __future__ import annotations
 
-import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.rng import derive_seed
+from repro.rng import content_key, derive_seed
+from repro.vector.engine import validate_engine
 
 #: Parameter values a task case may carry (must survive a JSON round-trip
 #: bit-for-bit, which is what the cache key depends on).
@@ -57,12 +57,21 @@ class TaskSpec:
         The task's root seed, derived deterministically from the
         experiment seed and the task identity — never from its position
         in a shard.
+    ``engine``
+        Which simulation engine evaluates the task: ``"scalar"`` (the
+        reference slot loop) or ``"vector"`` (the NumPy lockstep batch).
+        Part of the task identity — and hence the cache key — because
+        engines are distributionally, not bitwise, equivalent.
     """
 
     exp_id: str
     case: CaseItems
     replicate: int
     seed: int
+    engine: str = "scalar"
+
+    def __post_init__(self):
+        validate_engine(self.engine)
 
     @property
     def params(self) -> Dict[str, CaseValue]:
@@ -87,6 +96,7 @@ class TaskSpec:
             "case": dict(self.case),
             "replicate": self.replicate,
             "seed": self.seed,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -96,21 +106,19 @@ class TaskSpec:
             case=_canonical_case(record["case"]),
             replicate=int(record["replicate"]),
             seed=int(record["seed"]),
+            engine=str(record.get("engine", "scalar")),
         )
 
     def key(self, version: str) -> str:
         """Content address of this task under one package version.
 
         The key covers everything the outcome may legitimately depend on:
-        experiment id, case parameters, replicate index, seed, and the
-        package version (so a new release never replays stale results).
+        experiment id, case parameters, replicate index, seed, engine,
+        and the package version (so a new release never replays stale
+        results, and the same spec run on a different engine never
+        aliases).
         """
-        payload = json.dumps(
-            {"spec": self.to_record(), "version": version},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        return content_key({"spec": self.to_record(), "version": version})
 
 
 def task_grid(

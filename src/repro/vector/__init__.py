@@ -1,0 +1,34 @@
+"""The vector engine: NumPy lockstep batch simulation of B replications.
+
+Layout mirrors the scalar stack: :mod:`~repro.vector.engine` is the
+radio layer (batched reception), :mod:`~repro.vector.decay` the batched
+Decay primitive, :mod:`~repro.vector.collection` the pipelined §4
+protocol, and :mod:`~repro.vector.check` the scalar-equivalence harness
+(exact invariants + KS test).
+"""
+
+from repro.vector.collection import (
+    BatchCollection,
+    BatchCollectionResult,
+    run_collection_batch,
+)
+from repro.vector.decay import BatchDecay
+from repro.vector.engine import (
+    ENGINES,
+    BatchTrace,
+    LockstepRadio,
+    SlotRecord,
+    validate_engine,
+)
+
+__all__ = [
+    "BatchCollection",
+    "BatchCollectionResult",
+    "BatchDecay",
+    "BatchTrace",
+    "ENGINES",
+    "LockstepRadio",
+    "SlotRecord",
+    "run_collection_batch",
+    "validate_engine",
+]

@@ -1,0 +1,463 @@
+"""Batched collection (§4): B lockstep replications as array updates.
+
+This is the vector-engine implementation of the protocol in
+:mod:`repro.core.collection`: every station runs Decay toward its BFS
+parent on the multiplexed slot schedule (level classes mod 3, each data
+slot followed by its deterministic ack slot), and the root's accepted
+messages are the output.  One :class:`BatchCollection` advances B
+replications of that protocol *simultaneously*:
+
+* per-node buffers are ``(B, n)`` **counters** — ``backlog`` (queued
+  messages) and ``eligible`` (messages buffered since before the current
+  phase, the §4.1 "buffer non-empty at the beginning of a phase" rule);
+  because buffers are FIFO and eligibility is monotone in queue position,
+  counters capture the full sending dynamics;
+* message *identity* rides in a bounded **payload ring** ``(B, n, k)``
+  of global message ids with per-node head pointers, so conservation —
+  every collected message originates exactly once — stays checkable;
+* reception is the adjacency product of
+  :class:`~repro.vector.engine.LockstepRadio`; acknowledgements are
+  resolved physically on the paired ack slot and Theorem 3.1 (the ack
+  always arrives, failure-free) is *asserted*, making ack determinism a
+  built-in runtime invariant of the engine.
+
+Randomness: replication ``b`` draws its Decay coins from the NumPy
+stream ``np_rng(seeds[b], "vector", "decay")`` and consumes exactly one
+``(n,)`` coin row per data slot, whether or not its stations transmit.
+Stream position is therefore a pure function of the slot number —
+replication outcomes are independent of batch size and batch position,
+which is what lets the runner cache vector results per task.
+
+Validity: lockstep batching assumes the paper's failure-free model on a
+fixed topology (no failure injection, no repair).  Fault experiments
+stay on the scalar engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.collection import expected_collection_slots
+from repro.core.slots import SlotKind, SlotStructure, decay_budget
+from repro.errors import ConfigurationError, ProtocolError, SimulationTimeout
+from repro.graphs.bfs_tree import BFSTree
+from repro.graphs.graph import Graph, NodeId
+from repro.rng import np_rng
+from repro.vector.decay import BatchDecay
+from repro.vector.engine import BatchTrace, LockstepRadio, SlotRecord
+
+#: Coin rows generated per refill of the per-replication streams; bounds
+#: the resident coin block to ``COIN_BLOCK × B × n`` float32.
+COIN_BLOCK = 256
+
+DecayFactory = Callable[[int, tuple], BatchDecay]
+
+
+class BatchCollection:
+    """B lockstep replications of collection on one topology.
+
+    Parameters
+    ----------
+    graph, tree:
+        The shared topology and its BFS tree (all replications identical).
+    sources:
+        ``station -> [payload, ...]`` — the workload, injected at slot 0
+        in every replication (grid cells share their workload; only the
+        coins differ across replications).
+    seeds:
+        One root seed per replication; each seeds an independent
+        NumPy coin stream.
+    level_classes, budget:
+        As in the scalar protocol: §2.2 multiplexing (3 in the paper)
+        and the Decay budget (default ``2·ceil(log2 Δ)``).
+    decay_factory:
+        Constructor for the batched Decay implementation — the
+        equivalence harness swaps in a deliberately broken variant to
+        prove its own checks can fail.
+    trace:
+        Capture a :class:`~repro.vector.engine.BatchTrace` of every slot
+        (dense copies: traced sub-runs only).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        tree: BFSTree,
+        sources: Dict[NodeId, List[Any]],
+        seeds: Sequence[int],
+        level_classes: int = 3,
+        budget: Optional[int] = None,
+        decay_factory: DecayFactory = BatchDecay,
+        trace: bool = False,
+    ):
+        unknown = set(sources) - set(graph.nodes)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown source stations {sorted(unknown)!r}"
+            )
+        if not seeds:
+            raise ConfigurationError("need at least one replication seed")
+        self.radio = LockstepRadio(graph, tree, len(seeds))
+        self.seeds = tuple(int(s) for s in seeds)
+        self.slots = SlotStructure(
+            decay_budget=(
+                budget if budget is not None
+                else decay_budget(graph.max_degree())
+            ),
+            level_classes=level_classes,
+            with_acks=True,
+        )
+        B, n = len(self.seeds), self.radio.n
+        self.shape = (B, n)
+
+        # Global message ids 0..k-1 in (station, serial) order.
+        self.message_origins: List[NodeId] = []
+        self.message_payloads: List[Any] = []
+        per_node: Dict[int, List[int]] = {}
+        for node in sorted(sources, key=self.radio.index.__getitem__):
+            for payload in sources[node]:
+                gid = len(self.message_payloads)
+                self.message_origins.append(node)
+                self.message_payloads.append(payload)
+                per_node.setdefault(self.radio.index[node], []).append(gid)
+        self.total_messages = len(self.message_payloads)
+        self.capacity = max(1, self.total_messages)
+
+        # Buffer counters + payload ring.
+        self.backlog = np.zeros(self.shape, dtype=np.int32)
+        self.eligible = np.zeros(self.shape, dtype=np.int32)
+        self.ring = np.full(
+            (B, n, self.capacity), -1, dtype=np.int32
+        )
+        self.head = np.zeros(self.shape, dtype=np.int32)
+        self.delivered_count = np.zeros(B, dtype=np.int64)
+        self._delivered_log: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        root = self.radio.root_index
+        for node_idx, gids in per_node.items():
+            if node_idx == root:
+                # §4: submission at the root delivers immediately.
+                self.delivered_count += len(gids)
+                self._delivered_log.append((
+                    0,
+                    np.arange(B, dtype=np.int64),
+                    np.array(gids, dtype=np.int32),
+                ))
+                continue
+            self.ring[:, node_idx, : len(gids)] = np.array(
+                gids, dtype=np.int32
+            )
+            self.backlog[:, node_idx] = len(gids)
+
+        # Ack bookkeeping: which child each station must ack this slot.
+        self.pending_child = np.full(self.shape, -1, dtype=np.int64)
+        self.pending_msg = np.full(self.shape, -1, dtype=np.int32)
+        self._expect_ack: Optional[np.ndarray] = None
+
+        self.decay = decay_factory(self.slots.decay_budget, self.shape)
+        # Which stations may transmit data in a class-c slot (root never).
+        classes = self.slots.level_classes
+        not_root = np.ones(n, dtype=bool)
+        not_root[root] = False
+        self._class_mask = [
+            (self.radio.levels % classes == c) & not_root
+            for c in range(classes)
+        ]
+        # Per-phase schedule decoded once via the *scalar* SlotStructure,
+        # so both engines share one source of schedule truth.
+        self._schedule = [
+            self.slots.decode(s) for s in range(self.slots.phase_length)
+        ]
+
+        # Per-replication coin streams (block-generated, row per data slot).
+        self._coin_gens = [
+            np_rng(seed, "vector", "decay") for seed in self.seeds
+        ]
+        self._coin_block: Optional[np.ndarray] = None
+        self._coin_pos = 0
+
+        self.slot = 0
+        self.done = np.zeros(B, dtype=bool)
+        self.completion_slots = np.full(B, -1, dtype=np.int64)
+        self.trace: Optional[BatchTrace] = BatchTrace() if trace else None
+        self._check_done()  # empty workloads complete at slot 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_replications(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def phase_length(self) -> int:
+        return self.slots.phase_length
+
+    def backlog_at(self, nodes: Sequence[NodeId]) -> np.ndarray:
+        """Summed backlog over ``nodes`` per replication, shape ``(B,)``."""
+        idx = [self.radio.index[node] for node in nodes]
+        return self.backlog[:, idx].sum(axis=1)
+
+    def delivered_ids(self) -> List[List[int]]:
+        """Per replication: global message ids in root-arrival order."""
+        out: List[List[int]] = [[] for _ in self.seeds]
+        for _slot, b_idx, msgs in self._delivered_log:
+            if msgs.ndim == 0 or b_idx.size != msgs.size:
+                # Initial root submissions: same ids for every replication.
+                for b in b_idx:
+                    out[int(b)].extend(int(m) for m in np.atleast_1d(msgs))
+                continue
+            for b, m in zip(b_idx, msgs):
+                out[int(b)].append(int(m))
+        return out
+
+    def buffered_ids(self, replication: int) -> List[int]:
+        """All message ids currently buffered anywhere in ``replication``."""
+        ids: List[int] = []
+        for v in range(self.radio.n):
+            count = int(self.backlog[replication, v])
+            start = int(self.head[replication, v])
+            for offset in range(count):
+                ids.append(
+                    int(self.ring[replication, v,
+                                  (start + offset) % self.capacity])
+                )
+        return ids
+
+    # ------------------------------------------------------------------
+    # The slot loop
+    # ------------------------------------------------------------------
+
+    def _next_coins(self) -> np.ndarray:
+        if (
+            self._coin_block is None
+            or self._coin_pos >= self._coin_block.shape[0]
+        ):
+            self._coin_block = np.stack(
+                [
+                    gen.random((COIN_BLOCK, self.radio.n), dtype=np.float32)
+                    for gen in self._coin_gens
+                ],
+                axis=1,
+            )
+            self._coin_pos = 0
+        row = self._coin_block[self._coin_pos]
+        self._coin_pos += 1
+        return row
+
+    def _begin_phase(self) -> None:
+        # §4.1: a message may start a Decay invocation only in a phase it
+        # was already buffered at the start of.  At a phase boundary every
+        # buffered message qualifies.
+        np.copyto(self.eligible, self.backlog)
+        self.decay.reset()
+
+    def step(self) -> None:
+        """Advance all replications by one slot."""
+        within = self.slot % self.slots.phase_length
+        if within == 0:
+            self._begin_phase()
+        info = self._schedule[within]
+        if info.kind is SlotKind.DATA:
+            self._data_slot(info.level_class, info.decay_step)
+            self.slot += 1
+        else:
+            self._ack_slot(info.level_class, info.decay_step)
+            self.slot += 1
+            self._check_done()
+
+    def _data_slot(self, level_class: int, decay_step: int) -> None:
+        mask = self._class_mask[level_class]
+        started: Optional[np.ndarray] = None
+        if decay_step == 0:
+            # First opportunity of the phase for this class: stations with
+            # an eligible buffer head invoke Decay (§4.1).
+            started = (self.eligible > 0) & mask[None, :]
+            self.decay.start(started)
+        coins = self._next_coins()
+        tx = self.decay.transmit(coins, opportunity=mask)
+        counts: Optional[np.ndarray] = None
+        deliv = None
+        if tx.any():
+            counts, senders, unique = self.radio.resolve(tx)
+            par = self.radio.parents
+            # Transmitter u's head is delivered iff its parent hears
+            # uniquely and the unique transmitter is u itself.
+            deliv = (
+                tx
+                & unique[:, par]
+                & (senders[:, par] == self.radio.ids[None, :])
+            )
+            b_idx, u_idx = np.nonzero(deliv)
+            if b_idx.size:
+                msgs = self.ring[b_idx, u_idx, self.head[b_idx, u_idx]]
+                p_idx = par[u_idx]
+                # At most one delivery per (replication, receiver):
+                # uniqueness of reception makes these index sets disjoint.
+                self.pending_child[b_idx, p_idx] = u_idx
+                self.pending_msg[b_idx, p_idx] = msgs
+                at_root = p_idx == self.radio.root_index
+                root_b = b_idx[at_root]
+                if root_b.size:
+                    self.delivered_count[root_b] += 1
+                    self._delivered_log.append(
+                        (self.slot, root_b.copy(), msgs[at_root].copy())
+                    )
+                fb = b_idx[~at_root]
+                if fb.size:
+                    fp = p_idx[~at_root]
+                    pos = (
+                        self.head[fb, fp] + self.backlog[fb, fp]
+                    ) % self.capacity
+                    self.ring[fb, fp, pos] = msgs[~at_root]
+                    self.backlog[fb, fp] += 1
+        self._expect_ack = deliv
+        if self.trace is not None:
+            self.trace.record(SlotRecord(
+                self.slot, "data", level_class, decay_step,
+                tx.copy(),
+                None if counts is None else counts.copy(),
+                None if started is None else started.copy(),
+            ))
+
+    def _ack_slot(self, level_class: int, decay_step: int) -> None:
+        expect = self._expect_ack
+        self._expect_ack = None
+        ack_tx = self.pending_child >= 0
+        any_ack = ack_tx.any()
+        if any_ack:
+            _counts, senders, unique = self.radio.resolve(ack_tx)
+            par = self.radio.parents
+            # Child u hears its ack iff it receives uniquely, the unique
+            # transmitter is its parent, and the parent's pending ack
+            # designates u.
+            acked = (
+                unique
+                & (senders == par.astype(np.float32)[None, :])
+                & (
+                    self.pending_child[:, par]
+                    == np.arange(self.radio.n, dtype=np.int64)[None, :]
+                )
+            )
+        else:
+            acked = np.zeros(self.shape, dtype=bool)
+        expected = (
+            expect if expect is not None
+            else np.zeros(self.shape, dtype=bool)
+        )
+        if not np.array_equal(acked, expected):
+            # Theorem 3.1: in the failure-free model every designated
+            # delivery is acknowledged in the paired ack slot.
+            raise ProtocolError(
+                "ack determinism violated in batch engine at slot "
+                f"{self.slot}: a designated delivery went unacknowledged"
+            )
+        if any_ack:
+            b_idx, u_idx = np.nonzero(acked)
+            if b_idx.size:
+                self.head[b_idx, u_idx] = (
+                    self.head[b_idx, u_idx] + 1
+                ) % self.capacity
+                self.backlog[b_idx, u_idx] -= 1
+                self.eligible[b_idx, u_idx] -= 1
+                self.decay.kill(b_idx, u_idx)
+            # Every pending ack fires exactly at its due slot.
+            self.pending_child[:] = -1
+            self.pending_msg[:] = -1
+        if self.trace is not None:
+            self.trace.record(SlotRecord(
+                self.slot, "ack", level_class, decay_step,
+                ack_tx.copy(), None, None,
+            ))
+
+    def _check_done(self) -> None:
+        undone = ~self.done
+        if not undone.any():
+            return
+        newly = (
+            undone
+            & (self.delivered_count >= self.total_messages)
+            & (self.backlog.sum(axis=1, dtype=np.int64) == 0)
+        )
+        if newly.any():
+            self.done |= newly
+            self.completion_slots[newly] = self.slot
+
+    def run_until_done(self, max_slots: Optional[int] = None) -> np.ndarray:
+        """Run until every replication drains; returns completion slots.
+
+        ``max_slots`` defaults to the same generous multiple of the
+        Theorem 4.4 bound the scalar :func:`~repro.core.collection.
+        run_collection` uses; stragglers past it raise
+        :class:`~repro.errors.SimulationTimeout`.
+        """
+        if max_slots is None:
+            bound = expected_collection_slots(
+                self.total_messages,
+                self.radio.tree.depth,
+                self.radio.graph.max_degree(),
+            )
+            max_slots = max(10_000, int(20 * bound))
+        while not self.done.all() and self.slot < max_slots:
+            self.step()
+        if not self.done.all():
+            stragglers = int((~self.done).sum())
+            raise SimulationTimeout(
+                f"{stragglers}/{self.num_replications} replications not "
+                f"drained within {max_slots} slots",
+                slots_elapsed=self.slot,
+            )
+        return self.completion_slots.copy()
+
+
+@dataclass
+class BatchCollectionResult:
+    """Outcome of one batched collection run."""
+
+    completion_slots: np.ndarray  # (B,) slots until each replication drained
+    phases: np.ndarray  # (B,) completed Decay phases (ceil)
+    simulation: BatchCollection
+
+    @property
+    def num_replications(self) -> int:
+        return int(self.completion_slots.shape[0])
+
+
+def run_collection_batch(
+    graph: Graph,
+    tree: BFSTree,
+    sources: Dict[NodeId, List[Any]],
+    seeds: Sequence[int],
+    level_classes: int = 3,
+    budget: Optional[int] = None,
+    max_slots: Optional[int] = None,
+    decay_factory: DecayFactory = BatchDecay,
+    trace: bool = False,
+) -> BatchCollectionResult:
+    """Run B replications of collection to completion in one batch.
+
+    The vector-engine counterpart of the scalar
+    :func:`~repro.core.collection.run_collection`, for all seeds of a
+    grid cell at once.
+    """
+    simulation = BatchCollection(
+        graph,
+        tree,
+        sources,
+        seeds,
+        level_classes=level_classes,
+        budget=budget,
+        decay_factory=decay_factory,
+        trace=trace,
+    )
+    completion = simulation.run_until_done(max_slots)
+    phase_length = simulation.slots.phase_length
+    phases = -(-completion // phase_length)
+    return BatchCollectionResult(
+        completion_slots=completion,
+        phases=phases,
+        simulation=simulation,
+    )

@@ -1,0 +1,83 @@
+"""Batched Decay: B × n lockstep invocations as boolean matrix updates.
+
+The scalar :class:`~repro.core.decay.DecaySession` steps one station's
+invocation one transmission opportunity at a time.  Here the same
+pseudocode —
+
+    repeat at most 2·log Δ times
+        transmit m to all neighbors;
+        flip coin R ∈ {0, 1}
+    until coin = 0
+
+— runs for a whole ``(B, n)`` array of stations at once (B lockstep
+replications × n stations): ``alive`` and ``steps`` are arrays, one coin
+matrix is consumed per transmission opportunity, and the returned
+transmit mask drives the batched reception product of
+:mod:`repro.vector.engine`.
+
+Faithfulness: the first transmission of an invocation is unconditional
+(the paper transmits, *then* flips), a station dies on coin 0, and no
+invocation exceeds ``budget`` transmissions.  The equivalence harness
+(:mod:`repro.vector.check`) verifies the first property as an exact
+invariant; :class:`BrokenOffByOneDecay` there deliberately violates it to
+prove the harness has teeth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class BatchDecay:
+    """Lockstep Decay sessions for a ``(B, n)`` array of stations.
+
+    One instance manages *all* sessions of the batch: a session is
+    started per station at its first transmission opportunity of a phase
+    (:meth:`start`), stepped via :meth:`transmit` once per opportunity,
+    and silenced early by :meth:`kill` when the in-flight message is
+    acknowledged.
+    """
+
+    def __init__(self, budget: int, shape: tuple):
+        if budget < 1:
+            raise ConfigurationError(
+                f"Decay budget must be >= 1, got {budget}"
+            )
+        self.budget = budget
+        self.shape = shape
+        self.alive = np.zeros(shape, dtype=bool)
+        self.steps = np.zeros(shape, dtype=np.int16)
+
+    def start(self, mask: np.ndarray) -> None:
+        """Begin a fresh invocation wherever ``mask`` is True."""
+        self.alive[mask] = True
+        self.steps[mask] = 0
+
+    def reset(self) -> None:
+        """Phase boundary: all in-flight invocations end."""
+        self.alive[:] = False
+
+    def kill(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Silence the sessions at ``(rows, cols)`` (message acked)."""
+        self.alive[rows, cols] = False
+
+    def transmit(
+        self, coins: np.ndarray, opportunity: np.ndarray = None
+    ) -> np.ndarray:
+        """One transmission opportunity; returns the ``(B, n)`` transmit mask.
+
+        ``coins`` is a ``(B, n)`` uniform[0,1) matrix; a station uses its
+        entry only if it transmits this step.  ``opportunity`` restricts
+        the step to the stations whose level class owns the slot —
+        sessions of other classes neither transmit nor advance.  Paper
+        order: transmit first, flip after — the first step of a session
+        always transmits.
+        """
+        transmitting = self.alive & (self.steps < self.budget)
+        if opportunity is not None:
+            transmitting &= opportunity
+        self.steps[transmitting] += 1
+        self.alive &= ~(transmitting & (coins < 0.5))
+        return transmitting

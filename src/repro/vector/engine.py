@@ -1,0 +1,166 @@
+"""The lockstep batch radio: B replications resolved by one matrix product.
+
+The scalar engine (:mod:`repro.radio.network`) resolves each slot by
+iterating neighbors in Python.  For a *batch* of B independent
+replications running the same protocol on one topology, the paper's
+reception rule — a station receives iff **exactly one** neighbor
+transmits (§1.1) — is a single boolean adjacency product:
+
+    counts  = tx @ A          # tx: (B, n) transmit mask, A: (n, n) bool
+    unique  = (counts == 1) & ~tx
+
+and the *identity* of the unique transmitter falls out of a second
+product with the node-index vector (valid exactly where ``counts == 1``):
+
+    sender  = (tx * ids) @ A
+
+:class:`LockstepRadio` packages the topology-side state (adjacency
+matrix, node indexing, per-node BFS parents/levels) and the per-slot
+resolution; protocol dynamics live in :mod:`repro.vector.collection`.
+
+Engine selection
+----------------
+The runner exposes both engines behind one interface: every
+:class:`~repro.runner.task.TaskSpec` carries ``engine="scalar"`` (the
+pure-Python slot loop, the reference implementation) or
+``engine="vector"`` (this subsystem), the result-cache key covers the
+choice, and experiments opt in by registering a batch task function.
+Vector runs are *distributionally* equivalent to scalar runs — same
+protocol, same exact invariants, statistically identical outcomes —
+but never coin-flip-identical, because NumPy streams cannot be
+bit-matched to ``random.Random``.  The equivalence harness
+(:mod:`repro.vector.check`) makes that contract testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graphs.bfs_tree import BFSTree
+from repro.graphs.graph import Graph, NodeId
+
+#: The engines a task may select.  ``scalar`` is the reference
+#: slot-by-slot interpreter; ``vector`` is the NumPy lockstep batch.
+ENGINES: Tuple[str, ...] = ("scalar", "vector")
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+class LockstepRadio:
+    """Topology-side state for B lockstep replications on one graph.
+
+    Nodes are re-indexed ``0..n-1`` in the sorted order of
+    ``graph.nodes`` (the same order every scalar component iterates in);
+    all batch state elsewhere is indexed by these positions.
+    """
+
+    def __init__(self, graph: Graph, tree: BFSTree, replications: int):
+        if replications < 1:
+            raise ConfigurationError(
+                f"need at least one replication, got {replications}"
+            )
+        self.graph = graph
+        self.tree = tree
+        self.num_replications = replications
+        self.nodes: Tuple[NodeId, ...] = graph.nodes
+        self.n = len(self.nodes)
+        self.index: Dict[NodeId, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        adjacency = np.zeros((self.n, self.n), dtype=bool)
+        for u in self.nodes:
+            ui = self.index[u]
+            for v in graph.neighbors(u):
+                adjacency[ui, self.index[v]] = True
+        self.adjacency = adjacency
+        # float32 mirror for the BLAS-backed reception product; counts and
+        # index sums stay far below 2^24, so float32 arithmetic is exact.
+        self._adjacency_f = adjacency.astype(np.float32)
+        self.ids = np.arange(self.n, dtype=np.float32)
+        self.root_index = self.index[tree.root]
+        self.levels = np.array(
+            [tree.level[node] for node in self.nodes], dtype=np.int64
+        )
+        # parent[root] = root (the root never transmits upward, so the
+        # self-reference is never consulted as a real hop).
+        self.parents = np.array(
+            [
+                self.index[tree.parent[node]]
+                if tree.parent.get(node) is not None
+                else self.index[node]
+                for node in self.nodes
+            ],
+            dtype=np.int64,
+        )
+
+    def resolve(
+        self, tx: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resolve one slot: ``(counts, senders, unique)``.
+
+        ``counts[b, v]`` — transmitting neighbors of v; ``senders[b, v]``
+        — sum of their indices (the transmitter's index exactly where
+        ``counts == 1``); ``unique[b, v]`` — v hears a message: exactly
+        one neighbor transmitted and v itself was listening.
+        """
+        tx_f = tx.astype(np.float32)
+        counts = tx_f @ self._adjacency_f
+        senders = (tx_f * self.ids) @ self._adjacency_f
+        unique = (counts == 1.0) & ~tx
+        return counts, senders, unique
+
+
+class SlotRecord:
+    """One traced slot of a batch run (small cells only — dense copies)."""
+
+    __slots__ = (
+        "slot", "kind", "level_class", "decay_step",
+        "tx", "counts", "started",
+    )
+
+    def __init__(
+        self,
+        slot: int,
+        kind: str,
+        level_class: int,
+        decay_step: int,
+        tx: np.ndarray,
+        counts: Optional[np.ndarray],
+        started: Optional[np.ndarray],
+    ):
+        self.slot = slot
+        self.kind = kind  # "data" | "ack"
+        self.level_class = level_class
+        self.decay_step = decay_step
+        self.tx = tx
+        self.counts = counts
+        self.started = started  # session-start mask (data step 0 only)
+
+
+class BatchTrace:
+    """Per-slot event capture for the equivalence harness.
+
+    Dense (B, n) copies per slot: meant for the short traced sub-runs the
+    invariant checks operate on, not for production sweeps.
+    """
+
+    def __init__(self) -> None:
+        self.slots: List[SlotRecord] = []
+
+    def record(self, record: SlotRecord) -> None:
+        self.slots.append(record)
+
+    def data_slots(self) -> List[SlotRecord]:
+        return [r for r in self.slots if r.kind == "data"]
+
+    def ack_slots(self) -> List[SlotRecord]:
+        return [r for r in self.slots if r.kind == "ack"]

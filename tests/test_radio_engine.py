@@ -264,3 +264,22 @@ class TestFailureIntegration:
         center = net.process(0)
         net.step()
         assert center.heard == [(0, 0, "a")]
+
+
+class TestTopologyCache:
+    def test_graph_swap_rebuilds_neighbor_cache(self):
+        from repro.radio import RadioNetwork, SilentProcess
+
+        network = RadioNetwork(path(4))
+        network.attach_all(SilentProcess)
+        cached = network._neighbors
+        network.run(10)
+        assert network._neighbors is cached  # hot loop never rebuilds
+
+        network.graph = star(5)
+        assert network._neighbors is not cached
+        assert set(network._neighbors[0]) == set(star(5).neighbors(0))
+        # The swap re-arms full-attachment validation: star-5 has an
+        # extra station with no process.
+        with pytest.raises(ConfigurationError):
+            network.step()

@@ -449,3 +449,129 @@ class TestAttachmentValidation:
         assert not network._attachment_validated
         network.step()
         assert network._attachment_validated
+
+
+# ----------------------------------------------------------------------
+
+class TestEngineSelection:
+    """engine='vector' tasks: cache separation and batched execution."""
+
+    def test_same_spec_different_engine_different_key(self):
+        # Regression for the acceptance criterion: vector outcomes are
+        # distributionally (not bitwise) equivalent to scalar ones, so
+        # they must never alias in the result cache.
+        import dataclasses
+
+        scalar = TaskSpec("E3", (("k", 4),), 0, 123)
+        vector = dataclasses.replace(scalar, engine="vector")
+        assert scalar.engine == "scalar"
+        assert scalar.key("1.1.0") != vector.key("1.1.0")
+
+    def test_engine_round_trips_through_records(self):
+        import dataclasses
+
+        spec = dataclasses.replace(
+            TaskSpec("E2", (("load", 2),), 1, 77), engine="vector"
+        )
+        assert TaskSpec.from_record(spec.to_record()) == spec
+        # Pre-engine cache records (no "engine" field) read as scalar.
+        legacy = spec.to_record()
+        del legacy["engine"]
+        assert TaskSpec.from_record(legacy).engine == "scalar"
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec("E3", (), 0, 1, engine="quantum")
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                "E3", seed=1, replications=1, quick=True, engine="quantum"
+            )
+
+    def test_vector_run_matches_scalar_on_deterministic_cells(self):
+        # The quick E3 grid uses deterministic topologies whose
+        # single-source pipelines drain in a seed-independent number of
+        # slots: both engines must agree exactly, case by case.
+        scalar = run_experiment("E3", seed=7, replications=3, quick=True)
+        vector = run_experiment(
+            "E3", seed=7, replications=3, quick=True, engine="vector"
+        )
+        assert scalar.case_means("slots") == vector.case_means("slots")
+        assert all(o.spec.engine == "vector" for o in vector.outcomes)
+
+    def test_cache_keeps_engines_apart_and_replays_each(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = run_experiment(
+            "E3", seed=7, replications=2, quick=True, cache=cache
+        )
+        assert first.cache_hits == 0
+        crossed = run_experiment(
+            "E3", seed=7, replications=2, quick=True, cache=cache,
+            engine="vector",
+        )
+        assert crossed.cache_hits == 0  # scalar results must not replay
+        replay = run_experiment(
+            "E3", seed=7, replications=2, quick=True, cache=cache,
+            engine="vector",
+        )
+        assert replay.cache_hits == len(replay.outcomes)
+        scalar_again = run_experiment(
+            "E3", seed=7, replications=2, quick=True, cache=cache
+        )
+        assert scalar_again.cache_hits == len(scalar_again.outcomes)
+
+    def test_vector_workers_match_inline(self):
+        inline = run_experiment(
+            "E2", seed=5, replications=3, quick=True, engine="vector"
+        )
+        sharded = run_experiment(
+            "E2", seed=5, replications=3, quick=True, engine="vector",
+            workers=2,
+        )
+        assert inline.summary_table() == sharded.summary_table()
+
+    def test_vector_engine_requires_batch_support(self):
+        # E16 (fault scenarios) has no lockstep implementation: the
+        # failure models are scalar-only by design.
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                "E16", seed=1, replications=1, quick=True, engine="vector"
+            )
+
+    def test_run_tasks_rejects_vector_without_batch_fn(self):
+        import dataclasses
+
+        tasks = [
+            dataclasses.replace(spec, engine="vector")
+            for spec in task_grid("EX", [{"a": 1}], 2, seed=3)
+        ]
+        with pytest.raises(ConfigurationError):
+            run_tasks(tasks, seed_digit_metric)
+
+
+class TestEngineCli:
+    def test_run_engine_vector(self, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "run", "E3", "--quick", "--engine", "vector",
+            "--replications", "2", "--no-progress",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "engine=vector" in out
+
+    def test_run_unknown_experiment_is_friendly(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "E99", "--no-progress"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "E3" in err  # lists what IS runnable
+        assert "--list" in err
+
+    def test_vector_check_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["vector-check", "20260704"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out

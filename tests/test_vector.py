@@ -1,0 +1,289 @@
+"""Tests for the vector engine (repro.vector).
+
+Three layers: the batched primitives (reception product, Decay) against
+brute-force/scalar references; the batched collection protocol's exact
+guarantees (conservation, ack parity, purity under batch composition);
+and the equivalence harness itself — including the mandated negative
+control, a deliberately broken Decay that must fail both the invariant
+checks and the KS test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import ks_2sample
+from repro.core import run_collection
+from repro.errors import ConfigurationError, SimulationTimeout
+from repro.graphs import (
+    Graph,
+    grid,
+    layered_band,
+    path,
+    reference_bfs_tree,
+    star,
+)
+from repro.vector import (
+    ENGINES,
+    BatchDecay,
+    LockstepRadio,
+    run_collection_batch,
+    validate_engine,
+)
+from repro.vector.check import (
+    BrokenOffByOneDecay,
+    check_invariants,
+    compare_cell,
+    e2_cell,
+    e3_cell,
+    run_equivalence,
+)
+
+
+class TestEngineSelection:
+    def test_engines(self):
+        assert ENGINES == ("scalar", "vector")
+        for engine in ENGINES:
+            assert validate_engine(engine) == engine
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            validate_engine("quantum")
+
+
+class TestLockstepRadio:
+    def test_reception_matches_brute_force(self):
+        graph = grid(4, 5)
+        tree = reference_bfs_tree(graph, 0)
+        radio = LockstepRadio(graph, tree, replications=8)
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            tx = rng.random((8, radio.n)) < 0.3
+            counts, senders, unique = radio.resolve(tx)
+            for b in range(8):
+                for vi, v in enumerate(radio.nodes):
+                    transmitting_neighbors = [
+                        u for u in graph.neighbors(v)
+                        if tx[b, radio.index[u]]
+                    ]
+                    assert counts[b, vi] == len(transmitting_neighbors)
+                    expected_unique = (
+                        len(transmitting_neighbors) == 1 and not tx[b, vi]
+                    )
+                    assert unique[b, vi] == expected_unique
+                    if expected_unique:
+                        assert senders[b, vi] == radio.index[
+                            transmitting_neighbors[0]
+                        ]
+
+    def test_transmitter_hears_nothing(self):
+        graph = path(3)
+        tree = reference_bfs_tree(graph, 0)
+        radio = LockstepRadio(graph, tree, replications=1)
+        tx = np.array([[False, True, True]])
+        _counts, _senders, unique = radio.resolve(tx)
+        # Station 1 transmits, so it cannot hear station 2 (and vice
+        # versa); station 0 hears station 1 uniquely.
+        assert not unique[0, 1] and not unique[0, 2]
+        assert unique[0, 0]
+
+    def test_rejects_zero_replications(self):
+        graph = path(3)
+        tree = reference_bfs_tree(graph, 0)
+        with pytest.raises(ConfigurationError):
+            LockstepRadio(graph, tree, replications=0)
+
+
+class TestBatchDecay:
+    def test_first_transmission_unconditional(self):
+        decay = BatchDecay(budget=4, shape=(2, 3))
+        decay.start(np.ones((2, 3), dtype=bool))
+        # All coins kill immediately — but the first step still transmits.
+        tx = decay.transmit(np.zeros((2, 3), dtype=np.float32))
+        assert tx.all()
+        # Everyone flipped 0 after transmitting: all sessions dead.
+        tx = decay.transmit(np.ones((2, 3), dtype=np.float32))
+        assert not tx.any()
+
+    def test_budget_caps_transmissions(self):
+        decay = BatchDecay(budget=3, shape=(1, 1))
+        decay.start(np.ones((1, 1), dtype=bool))
+        lucky = np.ones((1, 1), dtype=np.float32)  # coin 1: never dies
+        transmissions = sum(
+            int(decay.transmit(lucky)[0, 0]) for _ in range(10)
+        )
+        assert transmissions == 3
+
+    def test_opportunity_mask_freezes_other_sessions(self):
+        decay = BatchDecay(budget=2, shape=(1, 2))
+        decay.start(np.ones((1, 2), dtype=bool))
+        only_first = np.array([True, False])
+        lucky = np.ones((1, 2), dtype=np.float32)
+        tx = decay.transmit(lucky, opportunity=only_first)
+        assert tx[0, 0] and not tx[0, 1]
+        # Station 1's session did not advance: it still has both steps.
+        assert decay.steps[0, 1] == 0 and decay.alive[0, 1]
+
+    def test_kill_silences(self):
+        decay = BatchDecay(budget=8, shape=(1, 2))
+        decay.start(np.ones((1, 2), dtype=bool))
+        decay.kill(np.array([0]), np.array([1]))
+        tx = decay.transmit(np.ones((1, 2), dtype=np.float32))
+        assert tx[0, 0] and not tx[0, 1]
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            BatchDecay(budget=0, shape=(1, 1))
+
+
+class TestBatchCollection:
+    def test_conservation_and_ack_parity(self):
+        graph = layered_band(4, 3)
+        tree = reference_bfs_tree(graph, 0)
+        deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
+        sources = {deepest: ["a", "b", "c"], 5: ["d"]}
+        result = run_collection_batch(
+            graph, tree, sources, seeds=[1, 2, 3, 4], trace=True
+        )
+        assert (result.completion_slots > 0).all()
+        assert check_invariants(result) == []
+        sim = result.simulation
+        for record in sim.trace.data_slots():
+            assert record.slot % 2 == 0
+        for record in sim.trace.ack_slots():
+            assert record.slot % 2 == 1
+
+    def test_matches_scalar_on_deterministic_cell(self):
+        # A single-source band pipeline drains deterministically: both
+        # engines must land on exactly the same completion slot.
+        graph = layered_band(5, 3)
+        tree = reference_bfs_tree(graph, 0)
+        deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
+        sources = {deepest: [f"m{i}" for i in range(4)]}
+        scalar = run_collection(graph, tree, sources, seed=9).slots
+        batch = run_collection_batch(graph, tree, sources, seeds=[9, 10])
+        assert list(batch.completion_slots) == [scalar, scalar]
+
+    def test_purity_under_batch_composition(self):
+        # Replication b's outcome is a function of its seed alone —
+        # independent of which other seeds share the batch.  This is the
+        # property that lets the runner cache vector results per task.
+        cell = e2_cell()
+        seeds = [101, 202, 303, 404]
+        together = run_collection_batch(
+            cell.graph, cell.tree, cell.sources, seeds
+        ).completion_slots
+        alone = [
+            int(
+                run_collection_batch(
+                    cell.graph, cell.tree, cell.sources, [seed]
+                ).completion_slots[0]
+            )
+            for seed in seeds
+        ]
+        assert list(together) == alone
+
+    def test_root_sources_deliver_immediately(self):
+        graph = star(4)
+        tree = reference_bfs_tree(graph, 0)
+        result = run_collection_batch(
+            graph, tree, {0: ["at-root"]}, seeds=[5]
+        )
+        assert list(result.completion_slots) == [0]
+
+    def test_empty_workload_completes_at_slot_zero(self):
+        graph = path(4)
+        tree = reference_bfs_tree(graph, 0)
+        result = run_collection_batch(graph, tree, {}, seeds=[1, 2])
+        assert list(result.completion_slots) == [0, 0]
+
+    def test_timeout_raises(self):
+        graph = path(6)
+        tree = reference_bfs_tree(graph, 0)
+        sim_sources = {5: ["m0", "m1"]}
+        with pytest.raises(SimulationTimeout):
+            run_collection_batch(
+                graph, tree, sim_sources, seeds=[1], max_slots=4
+            )
+
+    def test_rejects_unknown_source(self):
+        graph = path(3)
+        tree = reference_bfs_tree(graph, 0)
+        with pytest.raises(ConfigurationError):
+            run_collection_batch(graph, tree, {99: ["x"]}, seeds=[1])
+
+    def test_rejects_empty_seeds(self):
+        graph = path(3)
+        tree = reference_bfs_tree(graph, 0)
+        with pytest.raises(ConfigurationError):
+            run_collection_batch(graph, tree, {2: ["x"]}, seeds=[])
+
+
+class TestKs2Sample:
+    def test_identical_samples_do_not_reject(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0] * 10
+        result = ks_2sample(sample, list(sample))
+        assert result.statistic == 0.0
+        assert result.pvalue == 1.0
+        assert not result.rejects(0.01)
+
+    def test_disjoint_samples_reject(self):
+        result = ks_2sample([0.0] * 30, [10.0] * 30)
+        assert result.statistic == 1.0
+        assert result.rejects(0.01)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ks_2sample([], [1.0])
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(4)
+        a = list(rng.normal(0.0, 1.0, 80))
+        b = list(rng.normal(0.4, 1.0, 60))
+        ours = ks_2sample(a, b)
+        ref = scipy_stats.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+        # Different asymptotic approximations; agreement is loose.
+        assert ours.pvalue == pytest.approx(ref.pvalue, abs=0.05)
+
+
+class TestEquivalenceHarness:
+    def test_harness_passes_on_real_engine(self):
+        report = run_equivalence(seed=20260704, replications=24)
+        assert report.passed, report.summary()
+        for cell in report.cells:
+            assert cell.invariant_failures == []
+            assert not cell.ks.rejects(0.01)
+
+    def test_broken_decay_fails_invariants_and_ks(self):
+        # The mandated negative control: an off-by-one coin flip (flip
+        # before the first transmission) must be caught BOTH ways.
+        report = run_equivalence(
+            seed=20260704,
+            replications=24,
+            decay_factory=BrokenOffByOneDecay,
+        )
+        assert not report.passed
+        for cell in report.cells:
+            assert cell.ks.rejects(0.01), (
+                f"{cell.name}: KS failed to reject the broken engine"
+            )
+            assert any(
+                "session-start" in failure
+                for failure in cell.invariant_failures
+            ), f"{cell.name}: session-start invariant failed to fire"
+
+    def test_summary_mentions_each_cell(self):
+        report = run_equivalence(seed=1, replications=8)
+        text = report.summary()
+        assert "E3/" in text and "E2/" in text
+        assert "PASS" in text or "FAIL" in text
+
+    def test_compare_cell_traces_by_default(self):
+        cell = e3_cell()
+        report = compare_cell(cell, seed=5, replications=6)
+        assert len(report.scalar_slots) == 6
+        assert len(report.vector_slots) == 6
+        assert report.ks.n1 == 6
