@@ -1,0 +1,142 @@
+"""ES — large-n scaling: sparse CSR reception vs the dense adjacency product.
+
+Not a paper claim — the capacity statement behind ``--reception sparse``:
+at n = 10⁴ stations on a unit-disk field (the canonical radio topology),
+the dense kernel pays O(B·n²) work and a ~400 MB float32 adjacency per
+batch regardless of how few stations transmit, while the CSR scatter
+pays O(transmitters·degree).  This bench times both kernels on an
+*identical* slot window of one collection batch, asserts their
+trajectories stayed bit-identical, and records the throughput ratio in
+``benchmarks/results/BENCH_SCALE.json`` (regression-gated by
+``benchmarks/check_regression.py`` against ``benchmarks/floors.json``).
+
+The window is deliberately short: the dense kernel needs ~1 GFLOP per
+slot at this size, and a dozen slots is plenty to time it; the sparse
+kernel's advantage only grows with run length.
+"""
+
+import json
+import random
+import time
+
+import numpy as np
+from conftest import ROOT_SEED, bench_results_dir
+
+from repro.graphs import random_geometric, reference_bfs_tree
+from repro.rng import derive_seed
+from repro.vector.collection import BatchCollection
+from repro.vector.engine import LockstepRadio
+
+#: The benchmark cell: a connected unit-disk field with n = 10_000
+#: stations (radius tuned for mean degree ~10, Δ ≈ 25).
+N = 10_000
+RADIUS = 0.018
+K = 32
+REPLICATIONS = 4
+#: Untimed warm-up slots: fills the amortized coin block (identical in
+#: both runs) so a refill that serves 256 data slots is not charged to
+#: a 12-slot timing window.
+WARMUP = 4
+#: Slots timed per kernel (identical window, identical coins).
+WINDOW = 12
+#: Acceptance floor: sparse must beat dense by at least this factor.
+MIN_SPEEDUP = 5.0
+
+
+def _cell():
+    graph = random_geometric(N, RADIUS, random.Random(ROOT_SEED))
+    tree = reference_bfs_tree(graph, 0)
+    deepest_level = max(tree.level.values())
+    deepest = sorted(
+        v for v in tree.nodes if tree.level[v] == deepest_level
+    )[:K]
+    sources = {v: [f"m{v}"] for v in deepest}
+    return graph, tree, sources
+
+
+def _batch_state(sim):
+    return (
+        sim.backlog.copy(),
+        sim.head.copy(),
+        sim.delivered_count.copy(),
+        sim.pending_child.copy(),
+        sim.pending_msg.copy(),
+        sim.done.copy(),
+    )
+
+
+def _timed_window(sim, slots):
+    started = time.perf_counter()
+    for _ in range(slots):
+        sim.step()
+    return time.perf_counter() - started
+
+
+def test_sparse_kernel_scaling():
+    graph, tree, sources = _cell()
+    seeds = [
+        derive_seed(ROOT_SEED, "bench-scale", index)
+        for index in range(REPLICATIONS)
+    ]
+
+    sparse = BatchCollection(graph, tree, sources, seeds, reception="sparse")
+    dense = BatchCollection(graph, tree, sources, seeds, reception="dense")
+    assert sparse.radio.reception == "sparse"
+    assert dense.radio.reception == "dense"
+    # The auto heuristic must pick sparse at this size on its own.
+    auto = LockstepRadio(graph, tree, 1, reception="auto")
+    assert auto.reception == "sparse"
+
+    for sim in (sparse, dense):
+        for _ in range(WARMUP):
+            sim.step()
+    sparse_seconds = _timed_window(sparse, WINDOW)
+    dense_seconds = _timed_window(dense, WINDOW)
+
+    # Same seeds, same coins, bit-identical kernels: after the identical
+    # window the two batch states must agree exactly.
+    for a, b in zip(_batch_state(sparse), _batch_state(dense)):
+        assert np.array_equal(a, b)
+    assert sparse.slot == dense.slot == WARMUP + WINDOW
+
+    sparse_rate = REPLICATIONS * WINDOW / sparse_seconds
+    dense_rate = REPLICATIONS * WINDOW / dense_seconds
+    speedup = sparse_rate / dense_rate
+    nnz = int(sparse.radio.indices.size)
+    summary = {
+        "experiment": "SCALE",
+        "title": "sparse CSR reception vs dense adjacency product",
+        "cell": {
+            "topology": f"rgg-{N}",
+            "stations": graph.num_nodes,
+            "edges": nnz // 2,
+            "density": round(nnz / (N * N), 6),
+            "max_degree": graph.max_degree(),
+            "k": sum(len(v) for v in sources.values()),
+            "replications": REPLICATIONS,
+            "window_slots": WINDOW,
+            "seed": ROOT_SEED,
+        },
+        "dense": {
+            "seconds": round(dense_seconds, 3),
+            "replication_slots_per_sec": round(dense_rate, 3),
+        },
+        "sparse": {
+            "seconds": round(sparse_seconds, 3),
+            "replication_slots_per_sec": round(sparse_rate, 3),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "auto_resolution": auto.reception,
+    }
+    out = bench_results_dir() / "BENCH_SCALE.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(
+        f"\nES: dense {dense_rate:.2f} rep·slots/s, sparse "
+        f"{sparse_rate:.2f} rep·slots/s, speedup {speedup:.1f}x -> {out}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"sparse kernel only {speedup:.1f}x faster than dense at n={N} "
+        f"(floor {MIN_SPEEDUP}x)"
+    )

@@ -1,0 +1,98 @@
+"""Speedup regression gate for the engine benchmarks.
+
+Compares freshly produced ``benchmarks/results/BENCH_*.json`` summaries
+against the committed baselines in ``benchmarks/floors.json`` and fails
+(exit 1) when any measured speedup fell more than the tolerated fraction
+below its baseline — the committed default tolerates a 20% dip, which
+absorbs runner-to-runner jitter while still catching a kernel that
+silently degraded.
+
+Usage (after running the benchmarks that write the summaries)::
+
+    python benchmarks/check_regression.py [--results-dir DIR] [--only EXP ...]
+
+Missing result files are an error unless the experiment is excluded with
+``--only``: a gate that silently skips an absent benchmark is no gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FLOORS = HERE / "floors.json"
+
+
+def default_results_dir() -> Path:
+    override = os.environ.get("REPRO_BENCH_RESULTS")
+    return Path(override) if override else HERE / "results"
+
+
+def check(results_dir: Path, only: list[str] | None = None) -> int:
+    floors = json.loads(FLOORS.read_text())
+    tolerance = float(floors["tolerance"])
+    baselines = floors["baselines"]
+    selected = {name.upper() for name in only} if only else set(baselines)
+    unknown = selected - set(baselines)
+    if unknown:
+        print(f"unknown experiments: {sorted(unknown)}", file=sys.stderr)
+        print(f"known: {sorted(baselines)}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in sorted(selected):
+        entry = baselines[name]
+        path = results_dir / entry["file"]
+        if not path.exists():
+            print(f"FAIL  {name}: missing result file {path}")
+            failures += 1
+            continue
+        summary = json.loads(path.read_text())
+        measured = float(summary["speedup"])
+        baseline = float(entry["speedup"])
+        floor = tolerance * baseline
+        verdict = "ok" if measured >= floor else "FAIL"
+        print(
+            f"{verdict:>4}  {name}: speedup {measured:.2f}x "
+            f"(baseline {baseline:.2f}x, floor {floor:.2f}x)"
+        )
+        if measured < floor:
+            failures += 1
+    if failures:
+        print(
+            f"{failures} benchmark(s) regressed more than "
+            f"{(1 - tolerance) * 100:.0f}% below baseline"
+        )
+        return 1
+    print("all benchmark speedups within tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmark speedups regress below floors"
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        help="directory holding BENCH_*.json (default: benchmarks/results "
+        "or $REPRO_BENCH_RESULTS)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="EXP",
+        help="check only these experiments (e.g. VECTOR SCALE)",
+    )
+    args = parser.parse_args(argv)
+    results_dir = args.results_dir or default_results_dir()
+    return check(results_dir, args.only)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,8 +18,13 @@ Commands
     Run a registered experiment grid through the parallel runner:
     sharded execution, content-addressed result cache, JSONL telemetry.
     ``--engine vector`` batches every seed of a grid cell into one NumPy
-    lockstep call.  ``run --list`` shows the runnable experiments;
+    lockstep call; ``--reception dense|sparse|auto`` picks its reception
+    kernel.  ``run --list`` shows the runnable experiments;
     ``run <EXP_ID> --help`` shows all options.
+``profile <EXP_ID> [--engine vector] [--json FILE] …``
+    Run an experiment inline under the slot-loop profiler and print a
+    JSON breakdown of where the engines spend their time (per-phase
+    seconds, slots stepped, processes polled vs. skipped).
 ``vector-check [seed]``
     Run the vector-engine equivalence harness: exact invariants on
     traced batch runs plus the scalar-vs-vector KS test on E2/E3 cells.
@@ -157,7 +162,7 @@ def _cmd_run(argv: list) -> int:
         run_experiment,
         write_bench_summary,
     )
-    from repro.vector import ENGINES
+    from repro.vector import ENGINES, RECEPTION_MODES
 
     parser = argparse.ArgumentParser(
         prog="python -m repro run",
@@ -181,6 +186,17 @@ def _cmd_run(argv: list) -> int:
             "simulation engine: 'scalar' steps each task's slot loop in "
             "Python; 'vector' batches all seeds of a grid cell into one "
             "NumPy lockstep run (default: scalar)"
+        ),
+    )
+    parser.add_argument(
+        "--reception",
+        choices=RECEPTION_MODES,
+        default="auto",
+        help=(
+            "vector-engine reception kernel: 'dense' ((n,n) adjacency "
+            "product), 'sparse' (CSR scatter, O(edges) memory) or "
+            "'auto' (edge-density heuristic, the default); part of the "
+            "cached task identity"
         ),
     )
     parser.add_argument(
@@ -258,6 +274,7 @@ def _cmd_run(argv: list) -> int:
             telemetry=args.run_dir,
             progress=not args.no_progress,
             engine=args.engine,
+            reception=args.reception,
             quick=args.quick,
         )
     except ConfigurationError as exc:
@@ -268,6 +285,7 @@ def _cmd_run(argv: list) -> int:
     print(
         f"{len(report.outcomes)} tasks: {report.executed} executed, "
         f"{report.cache_hits} from cache; engine={args.engine}; "
+        f"reception={args.reception}; "
         f"workers={report.workers}; wall {report.wall_time:.2f}s"
     )
     if args.run_dir:
@@ -275,6 +293,84 @@ def _cmd_run(argv: list) -> int:
     if args.json:
         write_bench_summary(report, args.json)
         print(f"summary json: {args.json}")
+    return 0
+
+
+def _cmd_profile(argv: list) -> int:
+    import argparse
+    import json
+
+    from repro import profiling
+    from repro.errors import ConfigurationError
+    from repro.runner import registered_ids, run_experiment
+    from repro.vector import ENGINES, RECEPTION_MODES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description=(
+            "Run one registered experiment inline under the slot-loop "
+            "profiler and emit a JSON phase breakdown (where the slot "
+            "loops spend wall-clock time, slots stepped, processes "
+            "polled vs. skipped).  Always runs workers=0 and without a "
+            "result cache: profiles are process-local and cache hits "
+            "execute nothing worth measuring."
+        ),
+    )
+    parser.add_argument("exp_id", help="experiment id (see run --list)")
+    parser.add_argument("--engine", choices=ENGINES, default="scalar")
+    parser.add_argument(
+        "--reception", choices=RECEPTION_MODES, default="auto"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--replications", type=int, default=5)
+    parser.add_argument(
+        "--quick", action="store_true", help="miniature grid"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the breakdown JSON to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.exp_id not in registered_ids():
+        print(
+            f"unknown experiment {args.exp_id!r}; runnable: "
+            f"{', '.join(registered_ids())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with profiling.profiled() as profile:
+            report = run_experiment(
+                args.exp_id,
+                seed=args.seed,
+                replications=args.replications,
+                workers=0,
+                engine=args.engine,
+                reception=args.reception,
+                quick=args.quick,
+            )
+    except ConfigurationError as exc:
+        print(f"cannot profile {args.exp_id!r}: {exc}", file=sys.stderr)
+        return 2
+    breakdown = {
+        "exp_id": args.exp_id,
+        "engine": args.engine,
+        "reception": args.reception,
+        "seed": args.seed,
+        "replications": args.replications,
+        "tasks": len(report.outcomes),
+        "run_wall_seconds": round(report.wall_time, 6),
+        **profile.report(),
+    }
+    text = json.dumps(breakdown, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"profile json: {args.json}", file=sys.stderr)
     return 0
 
 
@@ -305,6 +401,8 @@ def main(argv: list) -> int:
     command = argv[0]
     if command == "run":
         return _cmd_run(argv[1:])
+    if command == "profile":
+        return _cmd_profile(argv[1:])
     seed = int(argv[1]) if len(argv) > 1 else 7
     if command == "demo":
         _cmd_demo(seed)

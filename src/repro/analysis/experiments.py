@@ -153,6 +153,14 @@ REGISTRY: List[Experiment] = [
         "bench_vector.py",
         ("repro.vector", "repro.runner"),
     ),
+    Experiment(
+        "E18",
+        "sparse CSR reception ≥ 5× dense at n = 10⁴ unit-disk, "
+        "bit-identical trajectories",
+        "(not a paper claim)",
+        "bench_scale.py",
+        ("repro.vector.engine", "repro.graphs.generators"),
+    ),
 ]
 
 

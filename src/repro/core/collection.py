@@ -108,6 +108,7 @@ class CollectionProcess(Process):
             self.delivered.append(message)
         else:
             self.lane.enqueue(message)
+            self.wake()  # revoke any idle declaration: there is traffic now
         return msg_id
 
     # ------------------------------------------------------------------
@@ -116,6 +117,11 @@ class CollectionProcess(Process):
 
     def on_slot(self, slot: int):
         return self.lane.on_slot(slot)
+
+    def quiet_until(self, slot: int) -> int:
+        # The lane is this process's only slot-driven state, so its next
+        # active slot is an exact idle declaration (see Process.quiet_until).
+        return self.lane.next_active_slot(slot)
 
     def on_receive(self, slot: int, channel: int, payload: Any) -> None:
         if channel != self.channel:

@@ -228,6 +228,13 @@ class ResilientCollectionProcess(CollectionProcess):
         if lane.buffer and lane.failed_attempts(slot) >= self.policy.suspect_after:
             self._repair(slot)
 
+    def quiet_until(self, slot: int) -> int:
+        # The per-slot watchdog in on_slot_end must observe every slot;
+        # opt back out of the inherited lane-based idle declaration.
+        # (Resilient runs attach a failure model, which disables the idle
+        # fast path anyway — this keeps the contract honest regardless.)
+        return slot
+
     # ------------------------------------------------------------------
     # Repair
     # ------------------------------------------------------------------

@@ -120,6 +120,19 @@ class SlotStructure:
             and info.level_class == level % self.level_classes
         )
 
+    def next_data_slot_for(self, slot: int, level: int) -> int:
+        """The first slot >= ``slot`` in which BFS ``level`` may send data.
+
+        Exact schedule arithmetic for the idle fast path: phases tile
+        rounds uniformly, so the data slots of level class c are exactly
+        the slots congruent to ``c * width (mod round_width)`` — the
+        class's data slot sits at offset ``c * width`` within each round
+        of ``level_classes * width`` slots.
+        """
+        round_width = self.level_classes * self._width
+        target = (level % self.level_classes) * self._width
+        return slot + (target - slot) % round_width
+
     def ack_slot_after(self, data_slot: int) -> int:
         """The ack slot paired with ``data_slot`` (the next slot, §3)."""
         if not self.with_acks:

@@ -40,6 +40,7 @@ from repro.core.messages import AckMessage, DataMessage
 from repro.core.slots import SlotStructure
 from repro.errors import ConfigurationError, ProtocolError
 from repro.graphs.graph import NodeId
+from repro.radio.process import QUIET_FOREVER
 from repro.radio.transmission import Transmission
 
 
@@ -357,6 +358,29 @@ class TransportLane:
                 f"station {self.node_id!r} got ack for {ack.msg_id!r} "
                 f"which is not its in-flight head"
             )
+
+    def next_active_slot(self, slot: int) -> int:
+        """The first slot >= ``slot`` this lane does anything in.
+
+        The lane's activity is fully slot-determined: a scheduled ack
+        fires at its due slot, and buffered data may only be transmitted
+        in this level class's data slots (§2.2) — every Decay session
+        consumes one ``should_transmit`` coin per own data slot, so while
+        the buffer is non-empty the lane must be polled on *every* own
+        data slot (skipping one would shift the coin stream).  All other
+        slots are provable no-ops, which is what feeds the engine's
+        :meth:`~repro.radio.process.Process.quiet_until` fast path.  A
+        reception re-wakes the owning process immediately, so new ack
+        duty / forwarded traffic is never missed.
+        """
+        wake = QUIET_FOREVER
+        if self._pending_ack is not None and self._pending_ack[0] >= slot:
+            wake = self._pending_ack[0]
+        if self.buffer and not self.muted:
+            data = self.slots.next_data_slot_for(slot, self.level)
+            if data < wake:
+                wake = data
+        return wake
 
     # ------------------------------------------------------------------
     # Introspection

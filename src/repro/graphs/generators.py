@@ -156,18 +156,19 @@ def random_geometric(
     identical transmission range on a plane).  Placement is resampled until
     the graph is connected; raises :class:`ConfigurationError` if the radius
     is too small to connect within ``max_attempts`` resamples.
+
+    Edges are found with a cell-list grid (side ``radius``, compare only
+    points in adjacent cells) — O(n · neighborhood) instead of the naive
+    O(n²) all-pairs scan, which is what makes n = 10⁴ fields practical.
+    The point stream and edge *set* are identical to the all-pairs
+    formulation, so sampled topologies are unchanged for any given rng.
     """
     _require_positive(n)
     from repro.graphs.properties import is_connected
 
     for _ in range(max_attempts):
         points = [(rng.random(), rng.random()) for _ in range(n)]
-        edges = [
-            (i, j)
-            for i in range(n)
-            for j in range(i + 1, n)
-            if math.dist(points[i], points[j]) <= radius
-        ]
+        edges = _unit_disk_edges(points, radius)
         graph = Graph.from_edges(edges, nodes=range(n))
         if is_connected(graph):
             return graph
@@ -175,6 +176,33 @@ def random_geometric(
         f"could not sample a connected unit-disk graph with n={n}, "
         f"radius={radius} in {max_attempts} attempts"
     )
+
+
+def _unit_disk_edges(
+    points: List[Tuple[float, float]], radius: float
+) -> List[Tuple[int, int]]:
+    """All pairs at distance <= radius, via cell-list bucketing.
+
+    Yields each pair once as ``(i, j)`` with i < j — the same edge set
+    the naive double loop produces (Graph normalizes order anyway).
+    """
+    if radius <= 0:
+        return []
+    cells: Dict[Tuple[int, int], List[int]] = {}
+    coords: List[Tuple[int, int]] = []
+    for index, (x, y) in enumerate(points):
+        cell = (int(x / radius), int(y / radius))
+        coords.append(cell)
+        cells.setdefault(cell, []).append(index)
+    edges: List[Tuple[int, int]] = []
+    for i, (x, y) in enumerate(points):
+        cx, cy = coords[i]
+        for nx in (cx - 1, cx, cx + 1):
+            for ny in (cy - 1, cy, cy + 1):
+                for j in cells.get((nx, ny), ()):
+                    if j > i and math.dist((x, y), points[j]) <= radius:
+                        edges.append((i, j))
+    return edges
 
 
 def gnp_connected(

@@ -12,19 +12,39 @@ Implements the model of §1.1 exactly:
 * a transmitting station hears nothing on the channel it transmits on.
 
 The engine is deliberately simple and allocation-light: per slot it asks
-every process for its transmission intents, resolves receptions channel by
-channel by counting transmitting neighbors, and delivers callbacks.
+every *awake* process for its transmission intents, resolves receptions
+channel by channel by counting transmitting neighbors, and delivers
+callbacks.
+
+Idle-aware scheduling
+---------------------
+The paper's own slot structure guarantees long deterministic silences: a
+station at BFS level i may transmit data only in its level class's slots
+(2 of every 3 slots are someone else's, §2.2), and a station with an
+empty buffer transmits nothing at all.  Polling every process every slot
+is therefore O(n) of wasted work per slot at scale.  A process may
+declare those silences via :meth:`~repro.radio.process.Process.
+quiet_until`; the engine keeps a min-heap of wake slots and skips
+sleeping processes entirely — a reception (or collision callback) wakes
+a process immediately, so reactive traffic is never delayed.  Processes
+that do not implement the hint are polled every slot, exactly as before.
+The fast path is bypassed whenever a failure model is attached (crash
+schedules must be consulted per slot) or ``idle_scheduling`` is False.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Callable, Dict, List, Optional
+from collections import defaultdict
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro import profiling
 from repro.errors import ConfigurationError, ProtocolError, SimulationTimeout
 from repro.graphs.graph import Graph, NodeId
 from repro.radio.failures import FailureModel
-from repro.radio.process import Process, SlotAction
+from repro.radio.process import QUIET_FOREVER, Process, SlotAction
 from repro.radio.trace import (
     CollisionEvent,
     DeliverEvent,
@@ -67,6 +87,13 @@ class RadioNetwork:
         ``on_collision`` callback when ≥ 2 neighbors transmit.  The
         paper's protocols never use it ("we do not know how to use it");
         it is exposed for experimentation.
+
+    The ``idle_scheduling`` attribute (default True) enables the
+    quiet-declaration fast path described in the module docstring; set it
+    to False to force the legacy poll-every-process loop (used by the
+    throughput benchmark to measure the fast path's win, and available as
+    an escape hatch).  Either setting produces identical protocol
+    outcomes for processes honouring the ``quiet_until`` contract.
     """
 
     def __init__(
@@ -93,6 +120,15 @@ class RadioNetwork:
         )
         self.slot = 0
         self.stats = NetworkStats()
+        self.profiler = profiling.current_profile()
+        self.idle_scheduling = True
+        # Wake bookkeeping for the idle fast path: ``_wake`` maps each
+        # station to its authoritative next wake slot; ``_wake_heap``
+        # holds (wake, node) entries, lazily invalidated (an entry whose
+        # wake no longer matches ``_wake`` is stale and discarded on pop).
+        self._wake: Dict[NodeId, int] = {}
+        self._wake_heap: List[Tuple[int, NodeId]] = []
+        self._wake_valid = False
         self._processes: Dict[NodeId, Process] = {}
         self.graph = graph
 
@@ -108,9 +144,12 @@ class RadioNetwork:
         #   these millions of times and must not re-derive them from the
         #   graph per slot;
         # * the full-attachment check — an O(n) set difference, re-armed
-        #   so a swapped topology is re-validated before the next step.
+        #   so a swapped topology is re-validated before the next step;
+        # * the wake heap — a swapped topology may change who can hear
+        #   whom, so every station is re-polled from the next slot.
         self._graph = graph
         self._attachment_validated = False
+        self._wake_valid = False
         self._neighbors: Dict[NodeId, tuple] = {
             node: graph.neighbors(node) for node in graph.nodes
         }
@@ -125,7 +164,9 @@ class RadioNetwork:
         if node not in self.graph:
             raise ConfigurationError(f"no station {node!r} in topology")
         self._processes[node] = process
+        process._waker = lambda: self._wake_external(node)
         self._attachment_validated = False
+        self._wake_valid = False
 
     def attach_all(self, factory: Callable[[NodeId], Process]) -> None:
         """Install ``factory(node)`` on every station of the topology."""
@@ -136,8 +177,15 @@ class RadioNetwork:
         return self._processes[node]
 
     @property
-    def processes(self) -> Dict[NodeId, Process]:
-        return dict(self._processes)
+    def processes(self) -> Mapping[NodeId, Process]:
+        """A read-only live view of the station -> process map.
+
+        Returned as a :class:`types.MappingProxyType` — not a copy — so
+        hot-path callers may iterate it per slot without allocating, and
+        accidental mutation raises instead of silently desynchronizing
+        the engine (attachment goes through :meth:`attach`).
+        """
+        return MappingProxyType(self._processes)
 
     def _require_fully_attached(self) -> None:
         if self._attachment_validated:
@@ -149,6 +197,23 @@ class RadioNetwork:
                 + ("…" if len(missing) > 5 else "")
             )
         self._attachment_validated = True
+
+    def _wake_external(self, node: NodeId) -> None:
+        """Revoke ``node``'s quiet declaration (see ``Process.wake``)."""
+        if not self._wake_valid:
+            return  # heap will be rebuilt before the next step anyway
+        slot = self.slot
+        if self._wake.get(node, slot) > slot:
+            self._wake[node] = slot
+            heapq.heappush(self._wake_heap, (slot, node))
+
+    def _rebuild_wake(self) -> None:
+        """Re-arm the wake heap: every station polls at the current slot."""
+        slot = self.slot
+        self._wake = {node: slot for node in self._processes}
+        self._wake_heap = [(slot, node) for node in self._processes]
+        heapq.heapify(self._wake_heap)
+        self._wake_valid = True
 
     # ------------------------------------------------------------------
     # The slot loop
@@ -168,6 +233,32 @@ class RadioNetwork:
         slot = self.slot
         failures = self.failures
         trace = self.trace
+        tracing = trace is not None
+        processes = self._processes
+        profiler = self.profiler
+        mark = profiler.clock() if profiler is not None else 0.0
+
+        # The fast path needs per-slot crash schedules out of the way
+        # (a sleeping station must still crash on time for the stats and
+        # the collision semantics), so any failure model disables it.
+        use_idle = self.idle_scheduling and failures is None
+        # Stations acting this slot, in deterministic wake order (polled
+        # now, or woken later by a reception); None = everyone, legacy.
+        awake: Optional[Dict[NodeId, None]] = None
+        if use_idle:
+            if not self._wake_valid:
+                self._rebuild_wake()
+            awake = {}
+            heap = self._wake_heap
+            wake = self._wake
+            while heap and heap[0][0] <= slot:
+                entry_wake, node = heapq.heappop(heap)
+                if node in awake or wake.get(node) != entry_wake:
+                    continue  # stale entry: rescheduled since it was pushed
+                awake[node] = None
+            poll = awake
+        else:
+            poll = processes
 
         # Phase 1: gather transmission intents.
         transmitters: List[Dict[NodeId, object]] = [
@@ -175,12 +266,16 @@ class RadioNetwork:
         ]
         transmitting_nodes: List[set] = [set() for _ in range(self.num_channels)]
         down_nodes = set()
-        for node, process in self._processes.items():
+        for node in poll:
+            process = processes[node]
             if failures is not None and failures.node_down(node, slot):
                 down_nodes.add(node)
                 self.stats.down_node_slots += 1
                 continue
-            for tx in self._normalize_action(process.on_slot(slot)):
+            action = process.on_slot(slot)
+            if action is None:
+                continue
+            for tx in self._normalize_action(action):
                 if tx.channel >= self.num_channels:
                     raise ProtocolError(
                         f"node {node!r} transmitted on channel {tx.channel} "
@@ -194,10 +289,16 @@ class RadioNetwork:
                 transmitters[tx.channel][node] = tx.payload
                 transmitting_nodes[tx.channel].add(node)
                 self.stats.channel(tx.channel).transmissions += 1
-                if trace is not None:
+                if tracing:
                     trace.record(
                         TransmitEvent(slot, tx.channel, node, tx.payload)
                     )
+        if profiler is not None:
+            now = profiler.clock()
+            profiler.add("scalar/intents", now - mark)
+            profiler.bump("polled", len(poll))
+            profiler.bump("skipped", len(processes) - len(poll))
+            mark = now
 
         # Phase 2: resolve receptions channel by channel.
         neighbors = self._neighbors
@@ -205,31 +306,34 @@ class RadioNetwork:
             senders = transmitters[channel]
             if not senders:
                 continue
-            self.stats.channel(channel).busy_slots += 1
-            hit_count: Dict[NodeId, int] = {}
+            channel_stats = self.stats.channel(channel)
+            channel_stats.busy_slots += 1
+            hit_count: Dict[NodeId, int] = defaultdict(int)
             last_sender: Dict[NodeId, NodeId] = {}
             for sender in senders:
                 for receiver in neighbors[sender]:
-                    hit_count[receiver] = hit_count.get(receiver, 0) + 1
+                    hit_count[receiver] += 1
                     last_sender[receiver] = sender
             sending_here = transmitting_nodes[channel]
             for receiver, count in hit_count.items():
                 if receiver in sending_here or receiver in down_nodes:
                     continue  # busy transmitting / crashed: hears nothing
                 if count >= 2:
-                    self.stats.channel(channel).collisions += 1
+                    channel_stats.collisions += 1
                     colliders = None
-                    if trace is not None or self.capture_effect:
+                    if tracing or self.capture_effect:
                         colliders = tuple(
                             s for s in senders if receiver in neighbors[s]
                         )
-                    if trace is not None:
+                    if tracing:
                         assert colliders is not None
                         trace.record(
                             CollisionEvent(slot, channel, receiver, colliders)
                         )
                     if self.collision_detection:
-                        self._processes[receiver].on_collision(slot, channel)
+                        processes[receiver].on_collision(slot, channel)
+                        if awake is not None and receiver not in awake:
+                            awake[receiver] = None
                     if self.capture_effect:
                         # §8 remark (3): the receiver captures one of the
                         # colliding messages, uniformly at random.  The
@@ -240,8 +344,8 @@ class RadioNetwork:
                         if failures is not None and failures.drop_delivery(
                             winner, receiver, slot
                         ):
-                            self.stats.channel(channel).dropped += 1
-                            if trace is not None:
+                            channel_stats.dropped += 1
+                            if tracing:
                                 trace.record(
                                     DropEvent(
                                         slot,
@@ -252,8 +356,8 @@ class RadioNetwork:
                                     )
                                 )
                             continue
-                        self.stats.channel(channel).deliveries += 1
-                        if trace is not None:
+                        channel_stats.deliveries += 1
+                        if tracing:
                             trace.record(
                                 DeliverEvent(
                                     slot,
@@ -263,40 +367,66 @@ class RadioNetwork:
                                     senders[winner],
                                 )
                             )
-                        self._processes[receiver].on_receive(
+                        processes[receiver].on_receive(
                             slot, channel, senders[winner]
                         )
+                        if awake is not None and receiver not in awake:
+                            awake[receiver] = None
                     continue
                 sender = last_sender[receiver]
                 if failures is not None and failures.drop_delivery(
                     sender, receiver, slot
                 ):
-                    self.stats.channel(channel).dropped += 1
-                    if trace is not None:
+                    channel_stats.dropped += 1
+                    if tracing:
                         trace.record(
                             DropEvent(
                                 slot, channel, receiver, sender, senders[sender]
                             )
                         )
                     continue
-                self.stats.channel(channel).deliveries += 1
-                if trace is not None:
+                channel_stats.deliveries += 1
+                if tracing:
                     trace.record(
                         DeliverEvent(
                             slot, channel, receiver, sender, senders[sender]
                         )
                     )
-                self._processes[receiver].on_receive(
+                processes[receiver].on_receive(
                     slot, channel, senders[sender]
                 )
+                if awake is not None and receiver not in awake:
+                    awake[receiver] = None
+        if profiler is not None:
+            now = profiler.clock()
+            profiler.add("scalar/reception", now - mark)
+            mark = now
 
-        # Phase 3: end-of-slot bookkeeping.
-        for node, process in self._processes.items():
-            if node not in down_nodes:
+        # Phase 3: end-of-slot bookkeeping, then reschedule the stations
+        # that acted (their quiet declarations may have changed).
+        if awake is not None:
+            wake = self._wake
+            heap = self._wake_heap
+            next_slot = slot + 1
+            for node in awake:
+                process = processes[node]
                 process.on_slot_end(slot)
+                wake_at = process.quiet_until(next_slot)
+                if wake_at < next_slot:
+                    wake_at = next_slot
+                wake[node] = wake_at
+                if wake_at < QUIET_FOREVER:
+                    heapq.heappush(heap, (wake_at, node))
+        else:
+            for node, process in processes.items():
+                if node not in down_nodes:
+                    process.on_slot_end(slot)
 
         self.slot += 1
         self.stats.slots += 1
+        if profiler is not None:
+            profiler.add("scalar/slot_end", profiler.clock() - mark)
+            profiler.bump("scalar_slots")
 
     def run(
         self,

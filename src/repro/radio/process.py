@@ -21,7 +21,7 @@ Faithfulness notes:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Union
+from typing import Any, Callable, Iterable, Optional, Union
 
 from repro.graphs.graph import NodeId
 from repro.radio.transmission import Transmission
@@ -30,6 +30,11 @@ from repro.radio.transmission import Transmission
 #: channels), one transmission, or several transmissions on distinct
 #: channels.
 SlotAction = Union[None, Transmission, Iterable[Transmission]]
+
+#: Sentinel wake slot for :meth:`Process.quiet_until`: "I will stay
+#: silent until something is delivered to me."  Any value this large is
+#: treated the same way; the engine never pushes it onto the wake heap.
+QUIET_FOREVER = 2 ** 62
 
 
 class Process:
@@ -41,6 +46,8 @@ class Process:
 
     def __init__(self, node_id: NodeId):
         self.node_id = node_id
+        # Installed by the engine on attach; see wake().
+        self._waker: Optional[Callable[[], None]] = None
 
     def on_slot(self, slot: int) -> SlotAction:
         """Return the transmission(s) for this slot, or None to listen."""
@@ -59,6 +66,46 @@ class Process:
 
     def on_slot_end(self, slot: int) -> None:
         """Called after all of this slot's receptions have been delivered."""
+
+    def quiet_until(self, slot: int) -> int:
+        """Idle declaration: the first slot >= ``slot`` this process is
+        *active* in — i.e. might transmit, or does per-slot work in
+        :meth:`on_slot` / :meth:`on_slot_end`.
+
+        Contract: if a process returns ``w > slot``, it promises that —
+        absent any reception in between — for every slot s in
+        ``[slot, w)`` its :meth:`on_slot` would return None and its
+        :meth:`on_slot_end` would be a no-op.  The engine may then skip
+        those callbacks entirely (it keeps a min-heap of wake slots, see
+        :mod:`repro.radio.network`).  Receiving a message (or an
+        ``on_collision`` in the detection variant) re-wakes the process
+        for the current slot, so reactive behaviour is never delayed.
+        Return :data:`QUIET_FOREVER` for "silent until spoken to".
+
+        The default returns ``slot`` — no declaration, polled every
+        slot — so subclasses are unaffected unless they opt in.  The
+        paper's slot structure makes exact declarations easy: a node at
+        BFS level i owns only the class ``i mod 3`` data slots (§2.2),
+        so at least 2 of every 3 slot-pairs are declarable silence.
+
+        If *external* events can change what this process would do —
+        e.g. an application submitting a message mid-run (§1.4's
+        reactive model) — the mutating entry point must call
+        :meth:`wake` to revoke the outstanding declaration.
+        """
+        return slot
+
+    def wake(self) -> None:
+        """Revoke an outstanding :meth:`quiet_until` declaration.
+
+        Must be called by any entry point that mutates this process from
+        *outside* the engine's callbacks (application-level submission,
+        test harness pokes) while a run is in progress; otherwise the
+        engine may keep honouring a now-stale quiet declaration.  A no-op
+        when not attached to an idle-scheduling engine.
+        """
+        if self._waker is not None:
+            self._waker()
 
     def is_done(self) -> bool:
         """Whether this station considers its task locally complete.

@@ -159,7 +159,11 @@ def _e3_run(spec: TaskSpec) -> Dict[str, Any]:
 
 
 def collection_metrics_batch(
-    topology: str, k: int, classes: int, seeds: List[int]
+    topology: str,
+    k: int,
+    classes: int,
+    seeds: List[int],
+    reception: str = "auto",
 ) -> List[Dict[str, Any]]:
     """All seeds of one E3 cell in NumPy lockstep batches.
 
@@ -183,6 +187,7 @@ def collection_metrics_batch(
             sources,
             [seeds[position] for position in positions],
             level_classes=classes,
+            reception=reception,
         )
         log_delta = math.log2(max(2, graph.max_degree()))
         denominator = (k + tree.depth) * log_delta
@@ -200,12 +205,21 @@ def _e3_run_batch(specs: List[TaskSpec]) -> List[Dict[str, Any]]:
     grouped: Dict[tuple, List[int]] = {}
     for index, spec in enumerate(specs):
         params = spec.params
-        cell = (params["topology"], params["k"], params["classes"])
+        # The reception kernel joins the cell key: kernels are
+        # bit-identical, but one batch call uses one kernel.
+        cell = (
+            params["topology"], params["k"], params["classes"],
+            spec.reception,
+        )
         grouped.setdefault(cell, []).append(index)
     results: List[Dict[str, Any]] = [{} for _ in specs]
-    for (topology, k, classes), indices in grouped.items():
+    for (topology, k, classes, reception), indices in grouped.items():
         cell_results = collection_metrics_batch(
-            topology, k, classes, [specs[i].seed for i in indices]
+            topology,
+            k,
+            classes,
+            [specs[i].seed for i in indices],
+            reception=reception,
         )
         for index, metrics in zip(indices, cell_results):
             results[index] = metrics
@@ -297,7 +311,11 @@ def _e2_run(spec: TaskSpec) -> Dict[str, Any]:
 
 
 def advance_rate_metrics_batch(
-    parents: int, children: int, load: int, seeds: List[int]
+    parents: int,
+    children: int,
+    load: int,
+    seeds: List[int],
+    reception: str = "auto",
 ) -> List[Dict[str, Any]]:
     """All seeds of one E2 cell as a single lockstep batch.
 
@@ -314,7 +332,7 @@ def advance_rate_metrics_batch(
     sources = {
         child: [f"m{child}-{i}" for i in range(load)] for child in child_ids
     }
-    simulation = BatchCollection(graph, tree, sources, seeds)
+    simulation = BatchCollection(graph, tree, sources, seeds, reception=reception)
     B = len(seeds)
     successes = np.zeros(B, dtype=np.int64)
     phases = np.zeros(B, dtype=np.int64)
@@ -344,12 +362,19 @@ def _e2_run_batch(specs: List[TaskSpec]) -> List[Dict[str, Any]]:
     grouped: Dict[tuple, List[int]] = {}
     for index, spec in enumerate(specs):
         params = spec.params
-        cell = (params["parents"], params["children"], params["load"])
+        cell = (
+            params["parents"], params["children"], params["load"],
+            spec.reception,
+        )
         grouped.setdefault(cell, []).append(index)
     results: List[Dict[str, Any]] = [{} for _ in specs]
-    for (parents, children, load), indices in grouped.items():
+    for (parents, children, load, reception), indices in grouped.items():
         cell_results = advance_rate_metrics_batch(
-            parents, children, load, [specs[i].seed for i in indices]
+            parents,
+            children,
+            load,
+            [specs[i].seed for i in indices],
+            reception=reception,
         )
         for index, metrics in zip(indices, cell_results):
             results[index] = metrics

@@ -411,6 +411,7 @@ def run_experiment(
     telemetry: Union[RunTelemetry, os.PathLike, str, None] = None,
     progress: bool = False,
     engine: str = "scalar",
+    reception: str = "auto",
     **options: Any,
 ) -> RunReport:
     """Run one *registered* experiment end to end.
@@ -420,12 +421,17 @@ def run_experiment(
     deterministic per-task seeds, executed (inline or sharded), cached,
     and reported.  With ``engine="vector"`` every grid cell's seeds are
     evaluated in one NumPy lockstep batch (the experiment must register
-    a ``run_batch`` function).
+    a ``run_batch`` function); ``reception`` selects that batch's
+    reception kernel (``dense``/``sparse``/``auto``) and joins the task
+    identity.
     """
     import dataclasses
     import functools
 
+    from repro.vector.engine import validate_reception
+
     validate_engine(engine)
+    validate_reception(reception)
     defn = get_experiment(exp_id)
     tasks = defn.tasks(seed, replications, **options)
     batch_fn: Optional[BatchFn] = None
@@ -436,7 +442,8 @@ def run_experiment(
                 "implementation; run it with engine='scalar'"
             )
         tasks = [
-            dataclasses.replace(spec, engine=engine) for spec in tasks
+            dataclasses.replace(spec, engine=engine, reception=reception)
+            for spec in tasks
         ]
     if defn.supports_vector:
         batch_fn = functools.partial(run_registered_batch, exp_id)
@@ -453,6 +460,7 @@ def run_experiment(
             "seed": seed,
             "replications": replications,
             "engine": engine,
+            "reception": reception,
             **options,
         },
     )

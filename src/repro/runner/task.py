@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.rng import content_key, derive_seed
-from repro.vector.engine import validate_engine
+from repro.vector.engine import validate_engine, validate_reception
 
 #: Parameter values a task case may carry (must survive a JSON round-trip
 #: bit-for-bit, which is what the cache key depends on).
@@ -62,6 +62,13 @@ class TaskSpec:
         reference slot loop) or ``"vector"`` (the NumPy lockstep batch).
         Part of the task identity — and hence the cache key — because
         engines are distributionally, not bitwise, equivalent.
+    ``reception``
+        Reception kernel of the vector engine: ``"dense"``, ``"sparse"``
+        or ``"auto"`` (density heuristic).  The kernels are bit-identical
+        in outcome, but the knob is still part of the task identity so a
+        cached record always states exactly how it was produced (and
+        ``auto``'s resolution may change as heuristics are retuned).
+        Ignored by the scalar engine.
     """
 
     exp_id: str
@@ -69,9 +76,11 @@ class TaskSpec:
     replicate: int
     seed: int
     engine: str = "scalar"
+    reception: str = "auto"
 
     def __post_init__(self):
         validate_engine(self.engine)
+        validate_reception(self.reception)
 
     @property
     def params(self) -> Dict[str, CaseValue]:
@@ -97,6 +106,7 @@ class TaskSpec:
             "replicate": self.replicate,
             "seed": self.seed,
             "engine": self.engine,
+            "reception": self.reception,
         }
 
     @classmethod
@@ -107,6 +117,7 @@ class TaskSpec:
             replicate=int(record["replicate"]),
             seed=int(record["seed"]),
             engine=str(record.get("engine", "scalar")),
+            reception=str(record.get("reception", "auto")),
         )
 
     def key(self, version: str) -> str:

@@ -15,10 +15,12 @@ from repro.vector.collection import (
 from repro.vector.decay import BatchDecay
 from repro.vector.engine import (
     ENGINES,
+    RECEPTION_MODES,
     BatchTrace,
     LockstepRadio,
     SlotRecord,
     validate_engine,
+    validate_reception,
 )
 
 __all__ = [
@@ -28,7 +30,9 @@ __all__ = [
     "BatchTrace",
     "ENGINES",
     "LockstepRadio",
+    "RECEPTION_MODES",
     "SlotRecord",
     "run_collection_batch",
     "validate_engine",
+    "validate_reception",
 ]

@@ -80,6 +80,11 @@ class BatchCollection:
     trace:
         Capture a :class:`~repro.vector.engine.BatchTrace` of every slot
         (dense copies: traced sub-runs only).
+    reception:
+        Reception kernel: ``"dense"`` (adjacency product), ``"sparse"``
+        (CSR scatter) or ``"auto"`` (density heuristic).  The kernels
+        are bit-identical in outcome; the knob trades memory/work
+        profiles and is part of the runner's task identity.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class BatchCollection:
         budget: Optional[int] = None,
         decay_factory: DecayFactory = BatchDecay,
         trace: bool = False,
+        reception: str = "auto",
     ):
         unknown = set(sources) - set(graph.nodes)
         if unknown:
@@ -100,7 +106,9 @@ class BatchCollection:
             )
         if not seeds:
             raise ConfigurationError("need at least one replication seed")
-        self.radio = LockstepRadio(graph, tree, len(seeds))
+        self.radio = LockstepRadio(
+            graph, tree, len(seeds), reception=reception
+        )
         self.seeds = tuple(int(s) for s in seeds)
         self.slots = SlotStructure(
             decay_budget=(
@@ -182,6 +190,9 @@ class BatchCollection:
         self.done = np.zeros(B, dtype=bool)
         self.completion_slots = np.full(B, -1, dtype=np.int64)
         self.trace: Optional[BatchTrace] = BatchTrace() if trace else None
+        from repro import profiling
+
+        self.profiler = profiling.current_profile()
         self._check_done()  # empty workloads complete at slot 0
 
     # ------------------------------------------------------------------
@@ -234,17 +245,21 @@ class BatchCollection:
     def _next_coins(self) -> np.ndarray:
         if (
             self._coin_block is None
-            or self._coin_pos >= self._coin_block.shape[0]
+            or self._coin_pos >= self._coin_block.shape[1]
         ):
-            self._coin_block = np.stack(
-                [
-                    gen.random((COIN_BLOCK, self.radio.n), dtype=np.float32)
-                    for gen in self._coin_gens
-                ],
-                axis=1,
-            )
+            # Refill in place, one contiguous (COIN_BLOCK, n) plane per
+            # replication stream — same values in the same order as the
+            # old stack-of-draws formulation, without the O(block·B·n)
+            # copy (which dominated refills at n = 10⁴).
+            if self._coin_block is None:
+                self._coin_block = np.empty(
+                    (len(self._coin_gens), COIN_BLOCK, self.radio.n),
+                    dtype=np.float32,
+                )
+            for b, gen in enumerate(self._coin_gens):
+                gen.random(out=self._coin_block[b], dtype=np.float32)
             self._coin_pos = 0
-        row = self._coin_block[self._coin_pos]
+        row = self._coin_block[:, self._coin_pos, :]
         self._coin_pos += 1
         return row
 
@@ -257,6 +272,8 @@ class BatchCollection:
 
     def step(self) -> None:
         """Advance all replications by one slot."""
+        profiler = self.profiler
+        started_at = profiler.clock() if profiler is not None else 0.0
         within = self.slot % self.slots.phase_length
         if within == 0:
             self._begin_phase()
@@ -264,10 +281,16 @@ class BatchCollection:
         if info.kind is SlotKind.DATA:
             self._data_slot(info.level_class, info.decay_step)
             self.slot += 1
+            if profiler is not None:
+                profiler.add("vector/data", profiler.clock() - started_at)
         else:
             self._ack_slot(info.level_class, info.decay_step)
             self.slot += 1
             self._check_done()
+            if profiler is not None:
+                profiler.add("vector/ack", profiler.clock() - started_at)
+        if profiler is not None:
+            profiler.bump("vector_slots")
 
     def _data_slot(self, level_class: int, decay_step: int) -> None:
         mask = self._class_mask[level_class]
@@ -436,6 +459,7 @@ def run_collection_batch(
     max_slots: Optional[int] = None,
     decay_factory: DecayFactory = BatchDecay,
     trace: bool = False,
+    reception: str = "auto",
 ) -> BatchCollectionResult:
     """Run B replications of collection to completion in one batch.
 
@@ -452,6 +476,7 @@ def run_collection_batch(
         budget=budget,
         decay_factory=decay_factory,
         trace=trace,
+        reception=reception,
     )
     completion = simulation.run_until_done(max_slots)
     phase_length = simulation.slots.phase_length

@@ -283,3 +283,142 @@ class TestTopologyCache:
         # extra station with no process.
         with pytest.raises(ConfigurationError):
             network.step()
+
+
+class TestCaptureEffect:
+    """§8 remark (3): collisions deliver one captured message at random."""
+
+    def star_net(self, capture_seed=0, trace=None):
+        # Leaves 1..3 all transmit to the center in slot 0.
+        g = star(4)
+        net = RadioNetwork(
+            g, capture_effect=True, capture_seed=capture_seed, trace=trace
+        )
+        net.attach(ScriptedProcess(0, {}))
+        for leaf in (1, 2, 3):
+            net.attach(
+                ScriptedProcess(leaf, {0: Transmission(f"m{leaf}")})
+            )
+        return net
+
+    def test_collision_delivers_exactly_one_colliding_payload(self):
+        net = self.star_net()
+        net.step()
+        heard = net.process(0).heard
+        assert len(heard) == 1
+        assert heard[0][2] in {"m1", "m2", "m3"}
+        # It still counts as a collision AND a delivery.
+        assert net.stats.channel(0).collisions == 1
+        assert net.stats.channel(0).deliveries == 1
+
+    def test_capture_choice_is_seed_deterministic(self):
+        for seed in (0, 1, 7, 42):
+            first = self.star_net(capture_seed=seed)
+            second = self.star_net(capture_seed=seed)
+            first.step()
+            second.step()
+            assert first.process(0).heard == second.process(0).heard
+
+    def test_colliders_tuple_records_all_in_range_senders(self):
+        trace = EventTrace()
+        net = self.star_net(trace=trace)
+        net.step()
+        collisions = [
+            e for e in trace.events if isinstance(e, CollisionEvent)
+        ]
+        assert len(collisions) == 1
+        assert sorted(collisions[0].senders) == [1, 2, 3]
+        # The captured payload is one of the colliders' transmissions.
+        delivery = [
+            e for e in trace.events if isinstance(e, DeliverEvent)
+        ][0]
+        assert delivery.sender in collisions[0].senders
+        assert delivery.payload == f"m{delivery.sender}"
+
+    def test_colliders_are_local_to_the_receiver(self):
+        # 1 - 0 - 2, plus 3 - 4: node 3 transmits too, but it is out of
+        # range of node 0, so it must not appear among 0's colliders.
+        g = Graph.from_edges([(0, 1), (0, 2), (3, 4)])
+        trace = EventTrace()
+        net = RadioNetwork(
+            g, capture_effect=True, capture_seed=0, trace=trace
+        )
+        scripts = {
+            1: {0: Transmission("a")},
+            2: {0: Transmission("b")},
+            3: {0: Transmission("c")},
+        }
+        for node in g.nodes:
+            net.attach(ScriptedProcess(node, scripts.get(node)))
+        net.step()
+        collision = [
+            e for e in trace.events if isinstance(e, CollisionEvent)
+        ][0]
+        assert collision.receiver == 0
+        assert sorted(collision.senders) == [1, 2]
+        assert net.process(0).heard[0][2] in {"a", "b"}
+        # Node 4 heard node 3 cleanly — no collision there.
+        assert net.process(4).heard == [(0, 0, "c")]
+
+    def test_capture_ignored_when_exactly_one_transmits(self):
+        g = star(3)
+        net = RadioNetwork(g, capture_effect=True, capture_seed=0)
+        net.attach(ScriptedProcess(0, {}))
+        net.attach(ScriptedProcess(1, {0: Transmission("solo")}))
+        net.attach(ScriptedProcess(2, {}))
+        net.step()
+        assert net.process(0).heard == [(0, 0, "solo")]
+        assert net.stats.channel(0).collisions == 0
+
+
+class TestMultiChannelReception:
+    def test_collision_and_delivery_are_per_channel(self):
+        # Channel 0 collides at the center; channel 1 delivers cleanly
+        # in the very same slot.
+        g = star(4)
+        net = RadioNetwork(g, num_channels=2)
+        net.attach(ScriptedProcess(0, {}))
+        net.attach(ScriptedProcess(1, {0: Transmission("a", channel=0)}))
+        net.attach(ScriptedProcess(2, {0: Transmission("b", channel=0)}))
+        net.attach(ScriptedProcess(3, {0: Transmission("c", channel=1)}))
+        net.step()
+        assert net.process(0).heard == [(0, 1, "c")]
+        assert net.stats.channel(0).collisions == 1
+        assert net.stats.channel(1).deliveries == 1
+
+    def test_capture_effect_resolves_each_channel_independently(self):
+        g = star(5)
+        trace = EventTrace()
+        net = RadioNetwork(
+            g,
+            num_channels=2,
+            capture_effect=True,
+            capture_seed=3,
+            trace=trace,
+        )
+        net.attach(ScriptedProcess(0, {}))
+        net.attach(ScriptedProcess(1, {0: Transmission("a0", channel=0)}))
+        net.attach(ScriptedProcess(2, {0: Transmission("b0", channel=0)}))
+        net.attach(ScriptedProcess(3, {0: Transmission("a1", channel=1)}))
+        net.attach(ScriptedProcess(4, {0: Transmission("b1", channel=1)}))
+        net.step()
+        heard = sorted(net.process(0).heard)
+        assert len(heard) == 2
+        assert heard[0][1] == 0 and heard[0][2] in {"a0", "b0"}
+        assert heard[1][1] == 1 and heard[1][2] in {"a1", "b1"}
+        collisions = [
+            e for e in trace.events if isinstance(e, CollisionEvent)
+        ]
+        assert {(c.channel, tuple(sorted(c.senders))) for c in collisions} \
+            == {(0, (1, 2)), (1, (3, 4))}
+
+    def test_transmitter_on_one_channel_receives_on_the_other(self):
+        g = path(2)
+        net = RadioNetwork(g, num_channels=2)
+        net.attach(ScriptedProcess(0, {0: Transmission("up", channel=0)}))
+        net.attach(ScriptedProcess(1, {0: Transmission("down", channel=1)}))
+        net.step()
+        # Each station is busy on its own channel but listening on the
+        # other (one transceiver per channel, §1.4).
+        assert net.process(0).heard == [(0, 1, "down")]
+        assert net.process(1).heard == [(0, 0, "up")]

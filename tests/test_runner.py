@@ -575,3 +575,71 @@ class TestEngineCli:
         assert main(["vector-check", "20260704"]) == 0
         out = capsys.readouterr().out
         assert "PASS" in out
+
+
+class TestReceptionSelection:
+    """reception='dense|sparse|auto' is part of cached task identity."""
+
+    def test_reception_is_part_of_the_cache_key(self):
+        import dataclasses
+
+        auto = dataclasses.replace(
+            TaskSpec("E3", (("k", 4),), 0, 123), engine="vector"
+        )
+        sparse = dataclasses.replace(auto, reception="sparse")
+        dense = dataclasses.replace(auto, reception="dense")
+        keys = {auto.key("1.2.0"), sparse.key("1.2.0"), dense.key("1.2.0")}
+        assert len(keys) == 3
+
+    def test_reception_round_trips_through_records(self):
+        import dataclasses
+
+        spec = dataclasses.replace(
+            TaskSpec("E2", (("load", 2),), 1, 77),
+            engine="vector",
+            reception="sparse",
+        )
+        assert TaskSpec.from_record(spec.to_record()) == spec
+        # Pre-reception cache records read back as the auto default.
+        legacy = spec.to_record()
+        del legacy["reception"]
+        assert TaskSpec.from_record(legacy).reception == "auto"
+
+    def test_rejects_unknown_reception(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec("E3", (), 0, 1, reception="csr")
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                "E3", seed=1, replications=1, quick=True,
+                engine="vector", reception="csr",
+            )
+
+    def test_vector_kernels_agree_end_to_end(self):
+        # Dense and sparse kernels are bit-identical, so whole
+        # experiment runs (not just single resolves) must agree.
+        runs = {
+            mode: run_experiment(
+                "E3", seed=5, replications=2, quick=True,
+                engine="vector", reception=mode,
+            )
+            for mode in ("dense", "sparse")
+        }
+        assert (
+            runs["dense"].case_means("slots")
+            == runs["sparse"].case_means("slots")
+        )
+        assert all(
+            o.spec.reception == "sparse" for o in runs["sparse"].outcomes
+        )
+
+    def test_run_cli_reception_flag(self, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "run", "E3", "--quick", "--engine", "vector",
+            "--reception", "sparse", "--replications", "2",
+            "--no-progress",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "reception=sparse" in out

@@ -287,3 +287,75 @@ class TestEquivalenceHarness:
         assert len(report.scalar_slots) == 6
         assert len(report.vector_slots) == 6
         assert report.ks.n1 == 6
+
+
+class TestSparseReception:
+    """The CSR scatter kernel: bit-identical to the dense product."""
+
+    def test_validate_reception(self):
+        from repro.vector import RECEPTION_MODES, validate_reception
+
+        assert RECEPTION_MODES == ("dense", "sparse", "auto")
+        for mode in RECEPTION_MODES:
+            assert validate_reception(mode) == mode
+        with pytest.raises(ConfigurationError):
+            validate_reception("csr")
+
+    @pytest.mark.parametrize("cell", [e3_cell(), e2_cell()], ids=lambda c: c.name)
+    def test_resolve_bitwise_equal_on_check_cells(self, cell):
+        # Every vector-check cell, dense vs sparse, exact equality: the
+        # acceptance criterion for the kernel swap.
+        dense = LockstepRadio(cell.graph, cell.tree, 8, reception="dense")
+        sparse = LockstepRadio(cell.graph, cell.tree, 8, reception="sparse")
+        rng = np.random.default_rng(11)
+        for density in (0.0, 0.05, 0.3, 1.0):
+            tx = rng.random((8, dense.n)) < density
+            d_counts, d_senders, d_unique = dense.resolve(tx)
+            s_counts, s_senders, s_unique = sparse.resolve(tx)
+            assert np.array_equal(d_counts, s_counts)
+            assert np.array_equal(d_senders, s_senders)
+            assert np.array_equal(d_unique, s_unique)
+            assert d_counts.dtype == s_counts.dtype == np.float32
+
+    @pytest.mark.parametrize("cell", [e3_cell(), e2_cell()], ids=lambda c: c.name)
+    def test_full_trajectories_identical_across_kernels(self, cell):
+        # Same seeds, only the kernel differs: whole runs must agree.
+        seeds = [101, 102, 103, 104]
+        results = {
+            mode: run_collection_batch(
+                cell.graph, cell.tree, cell.sources, seeds, reception=mode
+            )
+            for mode in ("dense", "sparse")
+        }
+        assert np.array_equal(
+            results["dense"].completion_slots,
+            results["sparse"].completion_slots,
+        )
+        assert (
+            results["dense"].simulation.delivered_ids()
+            == results["sparse"].simulation.delivered_ids()
+        )
+
+    def test_auto_heuristic(self):
+        from repro.vector.engine import SPARSE_MAX_DENSITY, SPARSE_MIN_NODES
+
+        # Small and dense -> dense kernel.
+        band = e3_cell()
+        small = LockstepRadio(band.graph, band.tree, 1, reception="auto")
+        assert small.requested_reception == "auto"
+        assert small.reception == "dense"
+        # Sparse topology (path density well under the threshold) -> sparse.
+        chain = path(64)
+        chain_tree = reference_bfs_tree(chain, 0)
+        assert (2 * chain.num_edges) / 64**2 <= SPARSE_MAX_DENSITY
+        assert LockstepRadio(chain, chain_tree, 1).reception == "sparse"
+        # Node-count override: big graphs go sparse regardless of density.
+        assert SPARSE_MIN_NODES == 1024
+
+    def test_sparse_radio_builds_dense_adjacency_lazily(self):
+        cell = e2_cell()
+        radio = LockstepRadio(cell.graph, cell.tree, 2, reception="sparse")
+        assert radio._adjacency is None
+        adjacency = radio.adjacency  # trace/invariant path still works
+        assert adjacency[radio.index[0], radio.index[1]]
+        assert np.array_equal(adjacency, adjacency.T)
