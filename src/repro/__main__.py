@@ -19,8 +19,17 @@ Commands
     sharded execution, content-addressed result cache, JSONL telemetry.
     ``--engine vector`` batches every seed of a grid cell into one NumPy
     lockstep call; ``--reception dense|sparse|auto`` picks its reception
-    kernel.  ``run --list`` shows the runnable experiments;
-    ``run <EXP_ID> --help`` shows all options.
+    kernel.  ``--timeout S``, ``--retries N`` and ``--no-quarantine``
+    set the fault policy (watchdog budget, retry count, whether a task
+    that keeps failing is recorded-and-skipped or fatal);
+    ``--checkpoint FILE`` journals completed tasks so an interrupted
+    sweep resumes where it stopped.  ``run --list`` shows the runnable
+    experiments; ``run <EXP_ID> --help`` shows all options.
+``chaos [--quick] [--workers N] [--json FILE] …``
+    Run the fault-injection harness: the E3 quick grid with worker
+    crashes, a hanging task, a transient failure and corrupt cache
+    entries injected, verified to converge bit-for-bit to a clean
+    control run.  Exits non-zero if any verdict fails.
 ``profile <EXP_ID> [--engine vector] [--json FILE] …``
     Run an experiment inline under the slot-loop profiler and print a
     JSON breakdown of where the engines spend their time (per-phase
@@ -242,6 +251,45 @@ def _cmd_run(argv: list) -> int:
         action="store_true",
         help="suppress the live progress line",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-task wall-clock budget; with workers >= 1 a watchdog "
+            "kills and quarantines tasks that exceed it (default: the "
+            "experiment's own budget, if any)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "re-executions of a failed or crashed task before it is "
+            "quarantined (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help=(
+            "abort the run on the first task that exhausts its retries "
+            "instead of recording and skipping it"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help=(
+            "sweep-checkpoint journal: completed tasks are appended as "
+            "they finish and restored on the next run, so Ctrl-C or an "
+            "OOM kill is a pause, not a restart"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list or args.exp_id is None:
@@ -272,9 +320,13 @@ def _cmd_run(argv: list) -> int:
             workers=args.workers,
             cache=args.cache,
             telemetry=args.run_dir,
+            checkpoint=args.checkpoint,
             progress=not args.no_progress,
             engine=args.engine,
             reception=args.reception,
+            timeout=args.timeout,
+            retries=args.retries,
+            quarantine=not args.no_quarantine,
             quick=args.quick,
         )
     except ConfigurationError as exc:
@@ -288,6 +340,20 @@ def _cmd_run(argv: list) -> int:
         f"reception={args.reception}; "
         f"workers={report.workers}; wall {report.wall_time:.2f}s"
     )
+    failures = report.failure_summary()
+    if any(failures[k] for k in failures):
+        print(
+            f"failures: {failures['quarantined']} quarantined, "
+            f"{failures['retries']} retries, "
+            f"{failures['timeouts']} timeouts, "
+            f"{failures['pool_rebuilds']} pool rebuilds, "
+            f"{failures['corrupt_cache_entries']} corrupt cache entries, "
+            f"{failures['resumed']} resumed from checkpoint"
+            + (" (degraded to inline)" if report.fallback_inline else "")
+        )
+        for record in report.quarantined:
+            print(f"  quarantined {record.label} "
+                  f"[{record.category}] {record.detail}")
     if args.run_dir:
         print(f"telemetry: {args.run_dir}/telemetry.jsonl")
     if args.json:
@@ -374,6 +440,96 @@ def _cmd_profile(argv: list) -> int:
     return 0
 
 
+def _cmd_chaos(argv: list) -> int:
+    import argparse
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.runner.chaos import run_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description=(
+            "Fault-injection harness: run the E3 quick grid once clean "
+            "and once with injected worker crashes, a hanging task, a "
+            "transient failure and corrupt cache entries, and verify "
+            "the chaotic run converges bit-for-bit to the control."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller grid and tighter watchdog budget (CI smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes (>= 1: crashes need process isolation)",
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        help="replications per grid case (default: 6 quick, 10 full)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog budget per task (default: 3 quick, 6 full)",
+    )
+    parser.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "working directory for caches, telemetry and the injection "
+            "plan (default: a temporary directory, removed afterwards)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the chaos report JSON to FILE",
+    )
+    parser.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the live progress lines",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = run_chaos(
+            seed=args.seed,
+            workers=args.workers,
+            replications=args.replications,
+            quick=args.quick,
+            timeout=args.timeout,
+            base_dir=args.dir,
+            keep=args.dir is not None,
+            progress=not args.no_progress,
+        )
+    except ConfigurationError as exc:
+        print(f"cannot run chaos: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json:
+        import os
+
+        parent = os.path.dirname(args.json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos json: {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_vector_check(seed: int) -> int:
     from repro.vector.check import run_equivalence
 
@@ -403,6 +559,8 @@ def main(argv: list) -> int:
         return _cmd_run(argv[1:])
     if command == "profile":
         return _cmd_profile(argv[1:])
+    if command == "chaos":
+        return _cmd_chaos(argv[1:])
     seed = int(argv[1]) if len(argv) > 1 else 7
     if command == "demo":
         _cmd_demo(seed)

@@ -13,12 +13,23 @@ reference slot loop) or ``"vector"`` (the NumPy lockstep batch of
 :mod:`repro.vector`, evaluating every seed of a grid cell in one call).
 The engine is part of the task identity and hence the cache key.
 
+Execution is fault tolerant: a :mod:`~repro.runner.policy.FaultPolicy`
+sets per-task watchdog timeouts, bounded retries with deterministic
+backoff, and quarantine of tasks that keep failing (crashed workers are
+recovered by rebuilding the pool and bisecting the affected chunks); a
+:mod:`~repro.runner.checkpoint.SweepCheckpoint` journal makes an
+interrupted sweep resume from completed-task state.  The chaos harness
+(:mod:`repro.runner.chaos`) proves all of this on a real grid with
+injected crashes, hangs, flaky tasks and corrupt cache entries.
+
 The CLI front end is ``python -m repro run <EXP_ID> --workers N
 [--engine vector]``; runnable experiments are registered in
 :mod:`repro.runner.defs`.
 """
 
 from repro.runner.cache import ResultCache
+from repro.runner.chaos import ChaosReport, ChaosVerdict, run_chaos
+from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.executor import (
     RunReport,
     TaskExecutionError,
@@ -26,6 +37,7 @@ from repro.runner.executor import (
     run_experiment,
     run_tasks,
 )
+from repro.runner.policy import FaultPolicy, QuarantineRecord
 from repro.runner.registry import (
     ExperimentDef,
     get_experiment,
@@ -40,25 +52,33 @@ from repro.runner.telemetry import (
     RunTelemetry,
     bench_summary,
     median,
+    read_quarantine,
     read_telemetry,
     write_bench_summary,
 )
 
 __all__ = [
+    "ChaosReport",
+    "ChaosVerdict",
     "ExperimentDef",
+    "FaultPolicy",
     "Progress",
+    "QuarantineRecord",
     "ResultCache",
     "RunReport",
     "RunTelemetry",
+    "SweepCheckpoint",
     "TaskExecutionError",
     "TaskOutcome",
     "TaskSpec",
     "bench_summary",
     "get_experiment",
     "median",
+    "read_quarantine",
     "read_telemetry",
     "register",
     "registered_ids",
+    "run_chaos",
     "run_experiment",
     "run_registered_batch",
     "run_registered_task",

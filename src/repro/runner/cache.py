@@ -10,15 +10,34 @@ zero tasks.
 Writes are atomic (`tmp` + ``os.replace``), so a crashed or killed worker
 never leaves a torn entry behind, and two processes racing to write the
 same key both leave a valid file.
+
+Integrity: every stored record carries a ``sha256`` field over its own
+canonical JSON payload, verified on read.  A corrupt entry — torn bytes,
+bit rot, a manual edit that kept the JSON valid — is *not* silently
+swallowed: the file is moved aside into a ``corrupt/`` sidecar directory
+(for post-mortems), counted on :attr:`ResultCache.corrupt`, and the task
+re-runs.  Entries written before the integrity field existed stay
+readable.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
+
+#: Sidecar directory (under the cache root) where corrupt entries are
+#: moved for inspection instead of being deleted.
+CORRUPT_DIR = "corrupt"
+
+
+def payload_digest(record: Dict[str, Any]) -> str:
+    """sha256 of a record's canonical JSON (the integrity field value)."""
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
@@ -29,16 +48,31 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _discard_corrupt(self, path: Path) -> None:
+        """Move a bad entry into ``corrupt/`` and count it."""
+        self.corrupt += 1
+        sidecar = self.root / CORRUPT_DIR
+        try:
+            sidecar.mkdir(parents=True, exist_ok=True)
+            os.replace(path, sidecar / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored outcome record for ``key``, or None on a miss.
 
         A corrupt entry (torn write from a hard kill predating the atomic
-        rename, manual edit, …) counts as a miss and is discarded so the
-        task simply re-runs.
+        rename, manual edit, integrity mismatch, …) counts as a miss *and*
+        on :attr:`corrupt`; the bad file is preserved under ``corrupt/``
+        and the task simply re-runs.
         """
         path = self._path(key)
         try:
@@ -49,24 +83,32 @@ class ResultCache:
             return None
         except (OSError, json.JSONDecodeError):
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard_corrupt(path)
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            self._discard_corrupt(path)
+            return None
+        declared = record.pop("sha256", None)
+        if declared is not None and declared != payload_digest(record):
+            self.misses += 1
+            self._discard_corrupt(path)
             return None
         self.hits += 1
         return record
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
-        """Atomically store ``record`` under ``key``."""
+        """Atomically store ``record`` under ``key`` (with its digest)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        stored = dict(record)
+        stored["sha256"] = payload_digest(record)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
+                json.dump(stored, handle, sort_keys=True)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -79,12 +121,18 @@ class ResultCache:
         return self._path(key).exists()
 
     def keys(self) -> Iterator[str]:
-        """All stored keys (order unspecified)."""
+        """All stored keys (order unspecified; corrupt/ is not a shard)."""
         for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
+            if not shard.is_dir() or shard.name == CORRUPT_DIR:
                 continue
             for entry in sorted(shard.glob("*.json")):
                 yield entry.stem
+
+    def corrupt_entries(self) -> Iterator[Path]:
+        """Files moved aside after failing the integrity check."""
+        sidecar = self.root / CORRUPT_DIR
+        if sidecar.is_dir():
+            yield from sorted(sidecar.glob("*.json"))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())

@@ -1,0 +1,484 @@
+"""Chaos harness: prove the executor's fault tolerance on a real sweep.
+
+``run_chaos`` runs the E3 quick grid twice with the same seeds — once
+clean (the control), once with faults injected — and checks that the
+chaotic run converges to the control bit for bit:
+
+* ~10% of the tasks **crash their worker process** on first attempt
+  (``os._exit``), exercising ``BrokenProcessPool`` recovery, bisection
+  and retry;
+* one task **hangs** (sleeps far past the watchdog budget), exercising
+  timeout expiry, pool rebuild and quarantine;
+* one task raises a **transient exception** on first attempt,
+  exercising in-band retry with backoff;
+* two pre-seeded **cache entries are corrupted** (one torn file, one
+  tampered payload with a stale integrity digest), exercising the
+  cache's corrupt-entry detection and re-execution.
+
+Verdicts (all must pass): the control run is clean; the hang — and only
+the hang — is quarantined, as a timeout; both corrupt entries are
+detected; every surviving metric is byte-identical per content key to
+the control; the run recorded at least one pool rebuild and one retry;
+and a final clean replay over the warm chaos cache executes exactly the
+hang task and replays everything else from cache, again matching the
+control exactly.
+
+Fault injection travels to worker processes via the ``REPRO_CHAOS_DIR``
+environment variable (inherited at pool fork): it names a directory
+holding ``plan.json`` (which task labels misbehave, and how) and the
+marker files that make crash/flaky injections first-attempt-only.  The
+task function itself stays pure — :func:`chaos_run_task` is the
+registered E3 task wrapped with the injection preamble.
+
+CLI front end: ``python -m repro chaos [--quick]``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.rng import child_rng
+from repro.runner.cache import ResultCache
+from repro.runner.executor import RunReport, run_tasks
+from repro.runner.policy import FaultPolicy
+from repro.runner.registry import get_experiment, run_registered_task
+from repro.runner.task import TaskSpec
+from repro.runner.telemetry import RunTelemetry
+
+#: Environment variable pointing workers at the fault-injection plan.
+ENV_VAR = "REPRO_CHAOS_DIR"
+
+
+# ----------------------------------------------------------------------
+# Fault injection (runs inside worker processes)
+# ----------------------------------------------------------------------
+
+
+def _first_attempt(chaos_dir: Path, kind: str, label: str) -> bool:
+    """Atomically claim the first attempt of a one-shot injection."""
+    marker_dir = chaos_dir / "markers"
+    marker_dir.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256(f"{kind}:{label}".encode()).hexdigest()[:24]
+    marker = marker_dir / f"{kind}-{digest}"
+    try:
+        marker.touch(exist_ok=False)
+    except FileExistsError:
+        return False
+    return True
+
+
+def _inject(spec: TaskSpec, chaos_dir: Path) -> None:
+    """Apply the planned fault for ``spec``, if any, before it runs."""
+    try:
+        plan = json.loads((chaos_dir / "plan.json").read_text("utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return
+    label = spec.label()
+    if label in plan.get("hang", ()):
+        # Sleep in slices, far past any sane watchdog budget; the
+        # executor's deadline fires long before this drains.
+        deadline = time.monotonic() + float(plan.get("hang_seconds", 120.0))
+        while time.monotonic() < deadline:
+            time.sleep(0.1)
+        return
+    if label in plan.get("crash", ()) and _first_attempt(
+        chaos_dir, "crash", label
+    ):
+        # Die the way a segfault or OOM kill does: no exception, no
+        # cleanup, the pool just loses the process.
+        os._exit(17)
+    if label in plan.get("flaky", ()) and _first_attempt(
+        chaos_dir, "flaky", label
+    ):
+        raise RuntimeError(f"injected transient failure for {label}")
+
+
+def chaos_run_task(spec: TaskSpec) -> Dict[str, Any]:
+    """The registered task function, preceded by planned fault injection.
+
+    Top-level and picklable, so it ships to pool workers like any other
+    task function.  With ``REPRO_CHAOS_DIR`` unset this is exactly the
+    registered run — the control and replay runs use the same entry
+    point as the chaotic one.
+    """
+    chaos_dir = os.environ.get(ENV_VAR)
+    if chaos_dir:
+        _inject(spec, Path(chaos_dir))
+    return dict(run_registered_task(spec.exp_id, spec))
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosVerdict:
+    """One pass/fail check of the chaos run."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ChaosReport:
+    """Everything the chaos harness measured, plus its verdicts."""
+
+    seed: int
+    workers: int
+    tasks: int
+    plan: Dict[str, Any]
+    verdicts: List[ChaosVerdict] = field(default_factory=list)
+    control_failures: Dict[str, Any] = field(default_factory=dict)
+    chaos_failures: Dict[str, Any] = field(default_factory=dict)
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    control_wall: float = 0.0
+    chaos_wall: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(verdict.passed for verdict in self.verdicts)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos: E3 quick grid, {self.tasks} tasks, seed {self.seed}, "
+            f"{self.workers} workers",
+            f"plan: {len(self.plan.get('crash', []))} crash, "
+            f"{len(self.plan.get('hang', []))} hang, "
+            f"{len(self.plan.get('flaky', []))} flaky, "
+            f"{self.plan.get('corrupt_entries', 0)} corrupt cache entries",
+            f"wall: control {self.control_wall:.1f}s, "
+            f"chaos {self.chaos_wall:.1f}s",
+        ]
+        for verdict in self.verdicts:
+            status = "PASS" if verdict.passed else "FAIL"
+            lines.append(f"[{status}] {verdict.name}: {verdict.detail}")
+        lines.append("chaos verdict: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "plan": self.plan,
+            "ok": self.ok,
+            "verdicts": [
+                {"name": v.name, "passed": v.passed, "detail": v.detail}
+                for v in self.verdicts
+            ],
+            "control_failures": self.control_failures,
+            "chaos_failures": self.chaos_failures,
+            "quarantined": self.quarantined,
+            "control_wall": self.control_wall,
+            "chaos_wall": self.chaos_wall,
+        }
+
+
+def _canonical(metrics: Dict[str, Any]) -> str:
+    return json.dumps(metrics, sort_keys=True, separators=(",", ":"))
+
+
+def run_chaos(
+    *,
+    seed: int = 7,
+    workers: int = 2,
+    replications: Optional[int] = None,
+    quick: bool = False,
+    timeout: Optional[float] = None,
+    base_dir: Optional[os.PathLike] = None,
+    keep: bool = False,
+    progress: bool = False,
+    preseed_count: int = 4,
+    corrupt_count: int = 2,
+    crash_fraction: float = 0.10,
+    flaky_count: int = 1,
+    hang_count: int = 1,
+    hang_seconds: float = 120.0,
+) -> ChaosReport:
+    """Run the chaos scenario end to end and return its verdicts.
+
+    ``quick`` shrinks the grid and the watchdog budget for CI smoke use.
+    ``base_dir`` pins the working directory (caches, run telemetry, the
+    injection plan); by default a temporary directory is used and
+    removed unless ``keep`` is set.  The fault mix is tunable so tests
+    can run miniature scenarios.
+    """
+    if workers < 1:
+        raise ConfigurationError(
+            "the chaos harness needs workers >= 1: crash injection "
+            "kills the executing process"
+        )
+    if corrupt_count > preseed_count:
+        raise ConfigurationError(
+            f"cannot corrupt {corrupt_count} of {preseed_count} "
+            "pre-seeded entries"
+        )
+    if replications is None:
+        replications = 6 if quick else 10
+    if timeout is None:
+        timeout = 3.0 if quick else 6.0
+
+    import repro
+
+    version = repro.__version__
+    defn = get_experiment("E3")
+    tasks = defn.tasks(seed, replications, quick=True)
+    labels = [spec.label() for spec in tasks]
+    keys = [spec.key(version) for spec in tasks]
+    total = len(tasks)
+
+    base = (
+        Path(base_dir)
+        if base_dir is not None
+        else Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    cleanup = base_dir is None and not keep
+    try:
+        return _run_scenario(
+            base=base,
+            tasks=tasks,
+            labels=labels,
+            keys=keys,
+            total=total,
+            seed=seed,
+            workers=workers,
+            timeout=timeout,
+            progress=progress,
+            preseed_count=min(preseed_count, total),
+            corrupt_count=corrupt_count,
+            crash_fraction=crash_fraction,
+            flaky_count=flaky_count,
+            hang_count=hang_count,
+            hang_seconds=hang_seconds,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+def _run_scenario(
+    *,
+    base: Path,
+    tasks: List[TaskSpec],
+    labels: List[str],
+    keys: List[str],
+    total: int,
+    seed: int,
+    workers: int,
+    timeout: float,
+    progress: bool,
+    preseed_count: int,
+    corrupt_count: int,
+    crash_fraction: float,
+    flaky_count: int,
+    hang_count: int,
+    hang_seconds: float,
+) -> ChaosReport:
+    # -- 1. control: the same tasks, same entry point, no faults -------
+    control_cache = ResultCache(base / "control-cache")
+    control = run_tasks(
+        tasks,
+        chaos_run_task,
+        workers=workers,
+        cache=control_cache,
+        telemetry=RunTelemetry(base / "control-run"),
+        progress=progress,
+    )
+    control_by_key = {o.key: _canonical(dict(o.metrics)) for o in control.outcomes}
+
+    # -- 2. pre-seed the chaos cache, then corrupt part of it ----------
+    chaos_cache = ResultCache(base / "chaos-cache")
+    ordered = sorted(range(total), key=lambda i: labels[i])
+    preseed = ordered[:preseed_count]
+    for index in preseed:
+        record = control_cache.get(keys[index])
+        if record is not None:
+            chaos_cache.put(keys[index], record)
+    for position, index in enumerate(preseed[:corrupt_count]):
+        path = chaos_cache._path(keys[index])
+        if position % 2 == 0:
+            # A torn write: the file stops mid-JSON.
+            path.write_text("{\"spec\": {\"exp", encoding="utf-8")
+        else:
+            # Valid JSON, tampered payload, stale digest — only the
+            # integrity check can catch this one.
+            stored = json.loads(path.read_text("utf-8"))
+            stored["wall_time"] = float(stored.get("wall_time", 0.0)) + 1.0
+            path.write_text(
+                json.dumps(stored, sort_keys=True), encoding="utf-8"
+            )
+
+    # -- 3. plan the fault mix over the non-preseeded tasks ------------
+    eligible = [labels[i] for i in ordered[preseed_count:]]
+    crash_count = max(1, round(crash_fraction * total)) if crash_fraction else 0
+    need = hang_count + crash_count + flaky_count
+    if len(eligible) < need:
+        raise ConfigurationError(
+            f"grid too small for the fault mix: {len(eligible)} eligible "
+            f"tasks, {need} faults planned"
+        )
+    picks = list(eligible)
+    child_rng(seed, "chaos-plan").shuffle(picks)
+    hang = picks[:hang_count]
+    crash = picks[hang_count:hang_count + crash_count]
+    flaky = picks[
+        hang_count + crash_count:hang_count + crash_count + flaky_count
+    ]
+    plan = {
+        "hang": hang,
+        "hang_seconds": hang_seconds,
+        "crash": crash,
+        "flaky": flaky,
+    }
+    inject_dir = base / "inject"
+    inject_dir.mkdir(parents=True, exist_ok=True)
+    (inject_dir / "plan.json").write_text(
+        json.dumps(plan, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    report = ChaosReport(
+        seed=seed,
+        workers=workers,
+        tasks=total,
+        plan={**plan, "corrupt_entries": corrupt_count},
+    )
+    report.control_failures = control.failure_summary()
+    report.control_wall = control.wall_time
+    control_clean = (
+        not control.quarantined
+        and control.executed == total
+        and control.retries == 0
+        and control.pool_rebuilds == 0
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "control_clean",
+            control_clean,
+            f"executed {control.executed}/{total}, "
+            f"{len(control.quarantined)} quarantined, "
+            f"{control.retries} retries, "
+            f"{control.pool_rebuilds} pool rebuilds",
+        )
+    )
+
+    # -- 4. the chaotic run --------------------------------------------
+    saved = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = str(inject_dir)
+    try:
+        chaotic = run_tasks(
+            tasks,
+            chaos_run_task,
+            workers=workers,
+            cache=chaos_cache,
+            telemetry=RunTelemetry(base / "chaos-run"),
+            checkpoint=base / "chaos-checkpoint.jsonl",
+            progress=progress,
+            policy=FaultPolicy(timeout=timeout, max_retries=2, seed=seed),
+        )
+    finally:
+        if saved is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = saved
+
+    report.chaos_failures = chaotic.failure_summary()
+    report.chaos_wall = chaotic.wall_time
+    report.quarantined = [q.to_record() for q in chaotic.quarantined]
+
+    quarantined_labels = sorted(q.label for q in chaotic.quarantined)
+    hang_ok = quarantined_labels == sorted(hang) and all(
+        q.category == "timeout" for q in chaotic.quarantined
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "hang_quarantined",
+            hang_ok,
+            f"quarantined {quarantined_labels} "
+            f"(want {sorted(hang)} as timeout)",
+        )
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "corrupt_detected",
+            chaotic.corrupt_cache_entries == corrupt_count,
+            f"{chaotic.corrupt_cache_entries} corrupt cache entries "
+            f"detected (want {corrupt_count})",
+        )
+    )
+    expect_rebuild = bool(crash) or bool(hang)
+    expect_retry = bool(flaky)
+    recovery_ok = (
+        (chaotic.pool_rebuilds >= 1 or not expect_rebuild)
+        and (chaotic.retries >= 1 or not expect_retry)
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "recovery",
+            recovery_ok,
+            f"{chaotic.pool_rebuilds} pool rebuilds, "
+            f"{chaotic.retries} retries, {chaotic.timeouts} timeouts",
+        )
+    )
+
+    hang_keys = {keys[i] for i in range(total) if labels[i] in hang}
+    mismatches = [
+        key
+        for key, outcome in (
+            (o.key, o) for o in chaotic.outcomes
+        )
+        if control_by_key.get(key) != _canonical(dict(outcome.metrics))
+    ]
+    expected_outcomes = total - len(hang_keys)
+    report.verdicts.append(
+        ChaosVerdict(
+            "results_match",
+            not mismatches and len(chaotic.outcomes) == expected_outcomes,
+            f"{len(chaotic.outcomes)}/{expected_outcomes} surviving "
+            f"outcomes, {len(mismatches)} metric mismatches vs control",
+        )
+    )
+
+    # -- 5. clean replay over the warm chaos cache ---------------------
+    replay = run_tasks(
+        tasks,
+        chaos_run_task,
+        workers=0,
+        cache=chaos_cache,
+        telemetry=RunTelemetry(base / "replay-run"),
+        progress=progress,
+    )
+    replay_mismatches = [
+        o.key
+        for o in replay.outcomes
+        if control_by_key.get(o.key) != _canonical(dict(o.metrics))
+    ]
+    replay_ok = (
+        replay.executed == len(hang_keys)
+        and replay.cache_hits == total - len(hang_keys)
+        and len(replay.outcomes) == total
+        and not replay_mismatches
+        and not replay.quarantined
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "replay",
+            replay_ok,
+            f"executed {replay.executed} (want {len(hang_keys)}), "
+            f"{replay.cache_hits} cache hits "
+            f"(want {total - len(hang_keys)}), "
+            f"{len(replay_mismatches)} mismatches vs control",
+        )
+    )
+    return report

@@ -1,0 +1,91 @@
+"""Sweep checkpointing: resume an interrupted run from completed-task state.
+
+The result cache already makes sweeps resumable *when a cache is
+configured*; the checkpoint makes resumption independent of it.  A
+checkpoint file is an append-only JSONL journal written as each task
+finishes (line-buffered, one fsync-free flush per record):
+
+``{"kind": "outcome", "key": …, "record": {spec, metrics, wall_time, version}}``
+    A completed task, stored with the same record shape as the result
+    cache, keyed by the task's content address.
+``{"kind": "quarantine", "key": …, "record": {spec, category, …}}``
+    A task the executor quarantined; resuming skips it (re-running a
+    known poison task would just re-poison the run) and carries it into
+    the new report's quarantine list.
+
+Because the last line may be torn by a hard kill (OOM, machine loss),
+:meth:`SweepCheckpoint.load` tolerates a truncated *final* line; corrupt
+interior lines still raise, since they indicate something worse than a
+crash mid-append.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+
+class SweepCheckpoint:
+    """An append-only journal of one sweep's completed-task state."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = None
+
+    # -- reading -------------------------------------------------------
+
+    def load(self) -> Tuple[Dict[str, Dict], Dict[str, Dict]]:
+        """Replay the journal into ``(completed, quarantined)`` by key.
+
+        Later lines win (a resumed run may re-append a key), and a
+        truncated final line — the signature of a crash mid-write — is
+        silently dropped.
+        """
+        completed: Dict[str, Dict] = {}
+        quarantined: Dict[str, Dict] = {}
+        if not self.path.exists():
+            return completed, quarantined
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for number, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) - 1:
+                    break  # torn final append: the task simply re-runs
+                raise ValueError(
+                    f"corrupt checkpoint line {number + 1} in {self.path}"
+                ) from None
+            kind = entry.get("kind")
+            if kind == "outcome":
+                completed[entry["key"]] = entry["record"]
+            elif kind == "quarantine":
+                quarantined[entry["key"]] = entry["record"]
+        return completed, quarantined
+
+    # -- writing -------------------------------------------------------
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open(
+                "a", encoding="utf-8", buffering=1
+            )
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append_outcome(self, key: str, record: Dict[str, Any]) -> None:
+        self._append({"kind": "outcome", "key": key, "record": record})
+
+    def append_quarantine(self, key: str, record: Dict[str, Any]) -> None:
+        self._append({"kind": "quarantine", "key": key, "record": record})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -234,6 +234,9 @@ register(
         run_task=_e3_run,
         summary_metrics=("slots", "constant"),
         run_batch=_e3_run_batch,
+        # Collection is Las-Vegas: budget for the running-time tail, not
+        # the mean (quick cells finish in well under a second).
+        default_timeout=120.0,
     )
 )
 
@@ -389,6 +392,7 @@ register(
         run_task=_e2_run,
         summary_metrics=("advance_rate",),
         run_batch=_e2_run_batch,
+        default_timeout=120.0,
     )
 )
 
@@ -421,5 +425,8 @@ register(
         make_tasks=_e16_tasks,
         run_task=_e16_run,
         summary_metrics=("delivery_ratio", "slowdown", "repairs"),
+        # Fault scenarios run long slot horizons (blackout grace periods);
+        # give them a wider tail budget than the clean experiments.
+        default_timeout=300.0,
     )
 )

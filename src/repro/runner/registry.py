@@ -42,6 +42,11 @@ class ExperimentDef:
     #: Optional vector-engine entry point: evaluates a list of same-case
     #: tasks in one batched call, returning metrics in task order.
     run_batch: Optional[BatchFn] = None
+    #: Per-task wall-clock budget in seconds, used as the executor's
+    #: watchdog timeout when the caller does not pass one (None = no
+    #: watchdog).  Las-Vegas protocols have random running time, so
+    #: definitions should budget for the tail, not the mean.
+    default_timeout: Optional[float] = None
 
     @property
     def supports_vector(self) -> bool:

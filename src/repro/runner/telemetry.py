@@ -1,16 +1,28 @@
 """Run telemetry: JSONL task records, a run manifest, live progress.
 
-A run directory holds two files:
+A run directory holds up to three files:
 
 ``manifest.json``
     Written at run start and finalized at run end: experiment id, package
     version, interpreter, worker count, grid size, and (on finish) how
-    many tasks executed vs. replayed from cache and the total wall time.
+    many tasks executed vs. replayed from cache, the total wall time and
+    the failure taxonomy (timeouts, retries, quarantined, pool rebuilds,
+    corrupt cache entries).  An interrupted run (Ctrl-C) finalizes with
+    ``status: "interrupted"`` instead of being left as ``"running"``.
 ``telemetry.jsonl``
     One JSON line per finished task, in completion order: the full task
     spec, its metrics, wall time, whether it was a cache hit, and the
     completion sequence number.  Machine-readable by design — every
     downstream table in this repo is an aggregation of these lines.
+``quarantine.jsonl``
+    One JSON line per quarantined task: spec, content key, failure
+    category (``error`` / ``crash`` / ``timeout``), attempt count, and
+    the last error detail.  Only written when the executor gives up on
+    a task.
+
+All JSONL writes are line-buffered and flushed per record, so a crashed
+run loses at most the line being written; :func:`read_telemetry`
+tolerates that torn final line when re-reading a run post-mortem.
 
 :class:`Progress` renders a live ``done/total`` line with tasks/sec and
 an ETA to stderr; it is off by default so tests and pipelines stay quiet.
@@ -98,9 +110,12 @@ class RunTelemetry:
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_path = self.run_dir / "manifest.json"
         self.tasks_path = self.run_dir / "telemetry.jsonl"
+        self.quarantine_path = self.run_dir / "quarantine.jsonl"
         self._tasks_handle: Optional[TextIO] = None
+        self._quarantine_handle: Optional[TextIO] = None
         self._manifest: Dict[str, Any] = {}
         self._sequence = 0
+        self._quarantined = 0
         self._started = time.perf_counter()
 
     # -- lifecycle -----------------------------------------------------
@@ -126,8 +141,16 @@ class RunTelemetry:
         }
         self._write_manifest()
         # Truncate any previous run's records: a run directory describes
-        # exactly one run (resumability lives in the result cache).
-        self._tasks_handle = self.tasks_path.open("w", encoding="utf-8")
+        # exactly one run (resumability lives in the result cache and the
+        # sweep checkpoint).  Line buffering keeps every completed record
+        # on disk even through a hard kill.
+        self._tasks_handle = self.tasks_path.open(
+            "w", encoding="utf-8", buffering=1
+        )
+        try:
+            self.quarantine_path.unlink()
+        except OSError:
+            pass
 
     def record_task(
         self,
@@ -151,21 +174,61 @@ class RunTelemetry:
         self._tasks_handle.flush()
         self._sequence += 1
 
-    def finish(self, executed: int, cache_hits: int) -> None:
+    def record_quarantine(self, record: Mapping[str, Any]) -> None:
+        """Append one quarantined-task record to ``quarantine.jsonl``."""
+        if self._quarantine_handle is None:
+            self._quarantine_handle = self.quarantine_path.open(
+                "a", encoding="utf-8", buffering=1
+            )
+        self._quarantine_handle.write(
+            json.dumps(dict(record), sort_keys=True) + "\n"
+        )
+        self._quarantine_handle.flush()
+        self._quarantined += 1
+
+    def finish(
+        self,
+        executed: int,
+        cache_hits: int,
+        failures: Optional[Mapping[str, Any]] = None,
+        status: str = "finished",
+    ) -> None:
         if self._tasks_handle is not None:
             self._tasks_handle.close()
             self._tasks_handle = None
+        if self._quarantine_handle is not None:
+            self._quarantine_handle.close()
+            self._quarantine_handle = None
         self._manifest.update(
             {
-                "status": "finished",
+                "status": status,
                 "executed": executed,
                 "cache_hits": cache_hits,
                 "recorded_tasks": self._sequence,
+                "quarantined": self._quarantined,
                 "wall_time": time.perf_counter() - self._started,
                 "finished_unix": time.time(),
             }
         )
+        if failures is not None:
+            self._manifest["failures"] = dict(failures)
         self._write_manifest()
+
+    def interrupt(
+        self,
+        executed: int,
+        cache_hits: int,
+        failures: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Finalize an interrupted run: Ctrl-C is a pause, not corruption.
+
+        Flushes and closes both JSONL streams and stamps the manifest
+        ``status: "interrupted"`` with whatever counts were reached, so
+        a resumed run (same cache / checkpoint) picks up cleanly.
+        """
+        self.finish(
+            executed, cache_hits, failures=failures, status="interrupted"
+        )
 
     def _write_manifest(self) -> None:
         tmp = self.manifest_path.with_suffix(".json.tmp")
@@ -175,16 +238,42 @@ class RunTelemetry:
         os.replace(tmp, self.manifest_path)
 
 
+def _read_jsonl(path: Path) -> List[Dict[str, Any]]:
+    """Parse a JSONL file, tolerating a truncated *final* line.
+
+    A crash (OOM-kill, power loss) can tear the line being appended;
+    every earlier line was flushed whole.  A corrupt interior line still
+    raises — that is damage, not interruption.
+    """
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    records: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if number == len(lines) - 1:
+                break
+            raise ValueError(
+                f"corrupt record at {path}:{number + 1}"
+            ) from None
+    return records
+
+
 def read_telemetry(run_dir: os.PathLike) -> List[Dict[str, Any]]:
     """Parse a run's ``telemetry.jsonl`` back into records."""
-    path = Path(run_dir) / "telemetry.jsonl"
-    records = []
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
-    return records
+    return _read_jsonl(Path(run_dir) / "telemetry.jsonl")
+
+
+def read_quarantine(run_dir: os.PathLike) -> List[Dict[str, Any]]:
+    """Parse a run's ``quarantine.jsonl`` (empty if nothing quarantined)."""
+    path = Path(run_dir) / "quarantine.jsonl"
+    if not path.exists():
+        return []
+    return _read_jsonl(path)
 
 
 def bench_summary(report) -> Dict[str, Any]:
