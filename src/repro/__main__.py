@@ -25,11 +25,21 @@ Commands
     ``--checkpoint FILE`` journals completed tasks so an interrupted
     sweep resumes where it stopped.  ``run --list`` shows the runnable
     experiments; ``run <EXP_ID> --help`` shows all options.
-``chaos [--quick] [--workers N] [--json FILE] …``
+``chaos [--quick] [--fleet] [--workers N] [--json FILE] …``
     Run the fault-injection harness: the E3 quick grid with worker
     crashes, a hanging task, a transient failure and corrupt cache
     entries injected, verified to converge bit-for-bit to a clean
-    control run.  Exits non-zero if any verdict fails.
+    control run.  With ``--fleet``, run the multi-host scenario
+    instead: worker subprocesses drain a shared queue directory while
+    one whole host is SIGKILLed, one lease is corrupted and one clock
+    is skewed.  Exits non-zero if any verdict fails.
+``fleet submit|worker|status …``
+    The multi-host execution backend.  ``submit`` populates a shared
+    queue directory with an experiment grid; ``worker`` (run on any
+    number of machines that see that directory) pulls tasks under
+    atomic leases until the queue drains; ``status`` merges every
+    host's journal into one live progress / failure-taxonomy report.
+    ``fleet <sub> --help`` shows each subcommand's options.
 ``profile <EXP_ID> [--engine vector] [--json FILE] …``
     Run an experiment inline under the slot-loop profiler and print a
     JSON breakdown of where the engines spend their time (per-phase
@@ -445,7 +455,7 @@ def _cmd_chaos(argv: list) -> int:
     import json
 
     from repro.errors import ConfigurationError
-    from repro.runner.chaos import run_chaos
+    from repro.runner.chaos import run_chaos, run_fleet_chaos
 
     parser = argparse.ArgumentParser(
         prog="python -m repro chaos",
@@ -453,7 +463,11 @@ def _cmd_chaos(argv: list) -> int:
             "Fault-injection harness: run the E3 quick grid once clean "
             "and once with injected worker crashes, a hanging task, a "
             "transient failure and corrupt cache entries, and verify "
-            "the chaotic run converges bit-for-bit to the control."
+            "the chaotic run converges bit-for-bit to the control.  "
+            "--fleet swaps in the multi-host scenario: worker "
+            "subprocesses drain a shared queue directory while one "
+            "whole host is SIGKILLed mid-sweep, one in-flight lease is "
+            "corrupted and one host's clock is skewed."
         ),
     )
     parser.add_argument(
@@ -461,12 +475,23 @@ def _cmd_chaos(argv: list) -> int:
         action="store_true",
         help="smaller grid and tighter watchdog budget (CI smoke)",
     )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "run the multi-host fleet scenario (host kill, lease "
+            "corruption, clock skew) instead of the process-pool one"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--workers",
         type=int,
-        default=2,
-        help="worker processes (>= 1: crashes need process isolation)",
+        default=None,
+        help=(
+            "worker processes (default 2), or with --fleet the number "
+            "of worker hosts (default 3, the first is killed)"
+        ),
     )
     parser.add_argument(
         "--replications",
@@ -503,16 +528,27 @@ def _cmd_chaos(argv: list) -> int:
     )
     args = parser.parse_args(argv)
     try:
-        report = run_chaos(
-            seed=args.seed,
-            workers=args.workers,
-            replications=args.replications,
-            quick=args.quick,
-            timeout=args.timeout,
-            base_dir=args.dir,
-            keep=args.dir is not None,
-            progress=not args.no_progress,
-        )
+        if args.fleet:
+            report = run_fleet_chaos(
+                seed=args.seed,
+                workers=args.workers if args.workers is not None else 3,
+                replications=args.replications,
+                quick=args.quick,
+                base_dir=args.dir,
+                keep=args.dir is not None,
+                progress=not args.no_progress,
+            )
+        else:
+            report = run_chaos(
+                seed=args.seed,
+                workers=args.workers if args.workers is not None else 2,
+                replications=args.replications,
+                quick=args.quick,
+                timeout=args.timeout,
+                base_dir=args.dir,
+                keep=args.dir is not None,
+                progress=not args.no_progress,
+            )
     except ConfigurationError as exc:
         print(f"cannot run chaos: {exc}", file=sys.stderr)
         return 2
@@ -528,6 +564,215 @@ def _cmd_chaos(argv: list) -> int:
             handle.write("\n")
         print(f"chaos json: {args.json}")
     return 0 if report.ok else 1
+
+
+def _cmd_fleet(argv: list) -> int:
+    import argparse
+    import json
+    import time as _time
+
+    from repro.errors import ConfigurationError
+    from repro.runner.fleet import (
+        FleetQueue,
+        FleetWorker,
+        fleet_status,
+    )
+    from repro.runner.policy import FaultPolicy
+    from repro.vector import ENGINES, RECEPTION_MODES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description=(
+            "Multi-host execution backend: a shared queue directory "
+            "drained by lease-holding workers on any number of "
+            "machines, merged into one report.  No coordinator; the "
+            "filesystem is the protocol."
+        ),
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    p_submit = sub.add_parser(
+        "submit", help="populate a queue directory with an experiment grid"
+    )
+    p_submit.add_argument("exp_id", help="experiment id (see run --list)")
+    p_submit.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="queue directory (created; must be visible to every worker)",
+    )
+    p_submit.add_argument("--seed", type=int, default=7)
+    p_submit.add_argument("--replications", type=int, default=5)
+    p_submit.add_argument("--engine", choices=ENGINES, default="scalar")
+    p_submit.add_argument(
+        "--reception", choices=RECEPTION_MODES, default="auto"
+    )
+    p_submit.add_argument(
+        "--quick", action="store_true", help="miniature grid"
+    )
+
+    p_worker = sub.add_parser(
+        "worker", help="pull and execute tasks until the queue drains"
+    )
+    p_worker.add_argument("queue", metavar="QUEUE", help="queue directory")
+    p_worker.add_argument(
+        "--host", default=None,
+        help="fleet host identity (default: <hostname>-<pid>)",
+    )
+    p_worker.add_argument(
+        "--ttl", type=float, default=30.0,
+        help="lease expiry: a lease untouched this long is reclaimed",
+    )
+    p_worker.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="lease refresh interval (default: ttl/4)",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="rescan interval when every pending task is leased",
+    )
+    p_worker.add_argument(
+        "--throttle", type=float, default=0.0, metavar="SECONDS",
+        help="sleep before each fresh execution (chaos/testing)",
+    )
+    p_worker.add_argument(
+        "--retries", type=int, default=None,
+        help="retry budget per task, shared with lease steals (default 2)",
+    )
+    p_worker.add_argument(
+        "--skew", type=float, default=0.0, metavar="SECONDS",
+        help="stamp lease times with a skewed clock (chaos/testing)",
+    )
+    p_worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="stop after this many tasks instead of draining the queue",
+    )
+    p_worker.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-task progress lines",
+    )
+
+    p_status = sub.add_parser(
+        "status", help="merge every host's journal into one report"
+    )
+    p_status.add_argument("queue", metavar="QUEUE", help="queue directory")
+    p_status.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the merged status JSON to FILE",
+    )
+    p_status.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render every SECONDS until the queue drains",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.subcommand == "submit":
+        import dataclasses
+
+        from repro import __version__
+        from repro.runner import get_experiment, registered_ids
+        from repro.vector.engine import validate_reception
+
+        if args.exp_id not in registered_ids():
+            print(
+                f"unknown experiment {args.exp_id!r}; runnable: "
+                f"{', '.join(registered_ids())}",
+                file=sys.stderr,
+            )
+            return 2
+        validate_reception(args.reception)
+        defn = get_experiment(args.exp_id)
+        options = {"quick": True} if args.quick else {}
+        try:
+            tasks = defn.tasks(args.seed, args.replications, **options)
+            if args.engine != "scalar":
+                if not defn.supports_vector:
+                    raise ConfigurationError(
+                        f"experiment {args.exp_id!r} has no vector-engine "
+                        "implementation"
+                    )
+                tasks = [
+                    dataclasses.replace(
+                        spec, engine=args.engine, reception=args.reception
+                    )
+                    for spec in tasks
+                ]
+            queue = FleetQueue(args.queue)
+            fresh = queue.submit(
+                tasks,
+                version=__version__,
+                options={
+                    "seed": args.seed,
+                    "replications": args.replications,
+                    "engine": args.engine,
+                    "reception": args.reception,
+                    **options,
+                },
+            )
+        except ConfigurationError as exc:
+            print(f"cannot submit {args.exp_id!r}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"submitted {args.exp_id}: {len(tasks)} tasks "
+            f"({fresh} new) -> {queue.root}"
+        )
+        print(
+            "start workers with: python -m repro fleet worker "
+            f"{queue.root}"
+        )
+        return 0
+
+    if args.subcommand == "worker":
+        policy = (
+            FaultPolicy(max_retries=args.retries)
+            if args.retries is not None
+            else None
+        )
+        try:
+            worker = FleetWorker(
+                args.queue,
+                host=args.host,
+                policy=policy,
+                ttl=args.ttl,
+                heartbeat_interval=args.heartbeat,
+                poll_interval=args.poll,
+                throttle=args.throttle,
+                clock_skew=args.skew,
+                max_tasks=args.max_tasks,
+                progress=not args.no_progress,
+            )
+            stats = worker.run()
+        except ConfigurationError as exc:
+            print(f"cannot start worker: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"[{stats.host}] drained: {stats.executed} executed, "
+            f"{stats.cache_hits} cache hits, {stats.lease_reclaims} "
+            f"lease reclaims, {stats.retries} retries, "
+            f"{stats.quarantined} quarantined in {stats.wall_time:.1f}s"
+        )
+        return 0
+
+    # status
+    while True:
+        try:
+            status = fleet_status(args.queue)
+        except ConfigurationError as exc:
+            print(f"cannot read queue: {exc}", file=sys.stderr)
+            return 2
+        print(status.summary())
+        if args.json:
+            import os as _os
+
+            parent = _os.path.dirname(args.json)
+            if parent:
+                _os.makedirs(parent, exist_ok=True)
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(status.to_json(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if args.watch is None or status.done:
+            return 0
+        _time.sleep(args.watch)
+        print()
 
 
 def _cmd_vector_check(seed: int) -> int:
@@ -561,6 +806,8 @@ def main(argv: list) -> int:
         return _cmd_profile(argv[1:])
     if command == "chaos":
         return _cmd_chaos(argv[1:])
+    if command == "fleet":
+        return _cmd_fleet(argv[1:])
     seed = int(argv[1]) if len(argv) > 1 else 7
     if command == "demo":
         _cmd_demo(seed)

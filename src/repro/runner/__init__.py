@@ -22,13 +22,27 @@ interrupted sweep resume from completed-task state.  The chaos harness
 (:mod:`repro.runner.chaos`) proves all of this on a real grid with
 injected crashes, hangs, flaky tasks and corrupt cache entries.
 
-The CLI front end is ``python -m repro run <EXP_ID> --workers N
-[--engine vector]``; runnable experiments are registered in
-:mod:`repro.runner.defs`.
+Beyond one machine, the fleet backend (:mod:`repro.runner.fleet`)
+drains a shared queue directory from workers on any number of hosts,
+coordinated only by atomic lease files (:mod:`repro.runner.lease`) and
+the shared result cache; ``run_fleet_chaos`` SIGKILLs an entire worker
+host mid-sweep and verifies the survivors converge bit-for-bit to a
+single-process control.
+
+The CLI front ends are ``python -m repro run <EXP_ID> --workers N
+[--engine vector]`` and ``python -m repro fleet submit|worker|status``;
+runnable experiments are registered in :mod:`repro.runner.defs`.
 """
 
+from repro.runner.atomicio import atomic_write_json, atomic_write_text
+
 from repro.runner.cache import ResultCache
-from repro.runner.chaos import ChaosReport, ChaosVerdict, run_chaos
+from repro.runner.chaos import (
+    ChaosReport,
+    ChaosVerdict,
+    run_chaos,
+    run_fleet_chaos,
+)
 from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.executor import (
     RunReport,
@@ -37,6 +51,15 @@ from repro.runner.executor import (
     run_experiment,
     run_tasks,
 )
+from repro.runner.fleet import (
+    FleetQueue,
+    FleetStatus,
+    FleetWorker,
+    WorkerReport,
+    fleet_report,
+    fleet_status,
+)
+from repro.runner.lease import LeaseDir, LeaseObserver, LeaseRecord
 from repro.runner.policy import FaultPolicy, QuarantineRecord
 from repro.runner.registry import (
     ExperimentDef,
@@ -52,6 +75,7 @@ from repro.runner.telemetry import (
     RunTelemetry,
     bench_summary,
     median,
+    merge_task_records,
     read_quarantine,
     read_telemetry,
     write_bench_summary,
@@ -62,6 +86,12 @@ __all__ = [
     "ChaosVerdict",
     "ExperimentDef",
     "FaultPolicy",
+    "FleetQueue",
+    "FleetStatus",
+    "FleetWorker",
+    "LeaseDir",
+    "LeaseObserver",
+    "LeaseRecord",
     "Progress",
     "QuarantineRecord",
     "ResultCache",
@@ -71,15 +101,22 @@ __all__ = [
     "TaskExecutionError",
     "TaskOutcome",
     "TaskSpec",
+    "WorkerReport",
+    "atomic_write_json",
+    "atomic_write_text",
     "bench_summary",
+    "fleet_report",
+    "fleet_status",
     "get_experiment",
     "median",
+    "merge_task_records",
     "read_quarantine",
     "read_telemetry",
     "register",
     "registered_ids",
     "run_chaos",
     "run_experiment",
+    "run_fleet_chaos",
     "run_registered_batch",
     "run_registered_task",
     "run_tasks",

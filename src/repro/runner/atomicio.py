@@ -1,0 +1,72 @@
+"""Crash-consistent file publication: same-directory temp + ``os.replace``.
+
+``os.replace`` is only atomic *within one filesystem*.  A temp file
+created in the system tmpdir may live on a different mount than its
+destination (tmpfs vs. the NFS share a fleet queue lives on), which
+turns the "atomic publish" into a cross-device copy that can tear under
+a crash — exactly the failure the rename was supposed to exclude.  Every
+durable write in the runner therefore stages its temp file *next to* the
+destination and renames within the directory.
+
+These helpers are the one code path for that pattern: the result cache,
+the run manifest, bench summaries, fleet task/quarantine files and the
+chaos plan all publish through here.  A reader never observes a partial
+file: it sees either the old content, the new content, or (for a first
+write) no file at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+
+def atomic_write_text(
+    path: Union[os.PathLike, str],
+    text: str,
+    *,
+    fsync: bool = False,
+) -> None:
+    """Atomically publish ``text`` at ``path``.
+
+    The temp file is created in ``path``'s own directory (never the
+    system tmpdir) so the final ``os.replace`` is a same-filesystem
+    rename.  ``fsync`` additionally flushes the file to stable storage
+    before the rename — worth paying for records that must survive a
+    machine (not just process) crash.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".tmp-{target.name}-"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: Union[os.PathLike, str],
+    payload: Any,
+    *,
+    indent: int = None,
+    fsync: bool = False,
+) -> None:
+    """Atomically publish ``payload`` as sorted-key JSON at ``path``."""
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    if indent is not None:
+        text += "\n"
+    atomic_write_text(path, text, fsync=fsync)

@@ -7,9 +7,14 @@ key covers everything the outcome depends on, a hit can be replayed
 verbatim: interrupted sweeps resume for free and repeat runs execute
 zero tasks.
 
-Writes are atomic (`tmp` + ``os.replace``), so a crashed or killed worker
-never leaves a torn entry behind, and two processes racing to write the
-same key both leave a valid file.
+Writes are atomic (same-directory temp + ``os.replace`` via
+:mod:`repro.runner.atomicio` — the temp file is staged next to its
+destination, never in the system tmpdir, so the rename cannot cross
+filesystems when the cache lives on shared/NFS storage), so a crashed or
+killed worker never leaves a torn entry behind, and two processes — or
+two fleet hosts — racing to write the same key both leave a valid file.
+Because keys are content addresses, the race is idempotent: both writers
+publish byte-identical records.
 
 Integrity: every stored record carries a ``sha256`` field over its own
 canonical JSON payload, verified on read.  A corrupt entry — torn bytes,
@@ -25,9 +30,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
+
+from repro.runner.atomicio import atomic_write_json
 
 #: Sidecar directory (under the cache root) where corrupt entries are
 #: moved for inspection instead of being deleted.
@@ -99,23 +105,9 @@ class ResultCache:
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
         """Atomically store ``record`` under ``key`` (with its digest)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         stored = dict(record)
         stored["sha256"] = payload_digest(record)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(stored, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self._path(key), stored)
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

@@ -30,7 +30,29 @@ marker files that make crash/flaky injections first-attempt-only.  The
 task function itself stays pure — :func:`chaos_run_task` is the
 registered E3 task wrapped with the injection preamble.
 
-CLI front end: ``python -m repro chaos [--quick]``.
+Fleet mode
+----------
+``run_fleet_chaos`` does the same for the multi-host fleet runner
+(:mod:`repro.runner.fleet`): it submits the E3 quick grid to a shared
+queue directory, launches several worker *subprocesses* (each its own
+fleet host), then
+
+* **SIGKILLs an entire worker host** mid-sweep, while it holds a lease —
+  no cleanup, no goodbye, the way a machine loss looks to the others;
+* **corrupts one in-flight lease file** with garbage bytes (lease
+  ownership is the file's existence, not its content — reclaim must
+  survive an unreadable record);
+* runs one surviving host with a **skewed clock** (its lease stamps are
+  45 s wrong), which must not matter because staleness is judged by
+  mtime *movement* against the observer's own monotonic clock.
+
+Verdicts: the survivors drain the queue completely (every task done
+exactly once, the dead host's leases reclaimed within a TTL, none
+lost, none double-counted), the merged fleet report is bit-for-bit
+identical per content key to a single-process clean control, and a
+final clean replay over the fleet's shared cache executes zero tasks.
+
+CLI front end: ``python -m repro chaos [--quick] [--fleet]``.
 """
 
 from __future__ import annotations
@@ -39,6 +61,9 @@ import hashlib
 import json
 import os
 import shutil
+import signal
+import subprocess
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -150,16 +175,30 @@ class ChaosReport:
         return all(verdict.passed for verdict in self.verdicts)
 
     def summary(self) -> str:
-        lines = [
-            f"chaos: E3 quick grid, {self.tasks} tasks, seed {self.seed}, "
-            f"{self.workers} workers",
-            f"plan: {len(self.plan.get('crash', []))} crash, "
-            f"{len(self.plan.get('hang', []))} hang, "
-            f"{len(self.plan.get('flaky', []))} flaky, "
-            f"{self.plan.get('corrupt_entries', 0)} corrupt cache entries",
+        if self.plan.get("mode") == "fleet":
+            lines = [
+                f"fleet chaos: E3 quick grid, {self.tasks} tasks, "
+                f"seed {self.seed}, {self.workers} worker hosts",
+                f"plan: SIGKILL {self.plan.get('victim')}, "
+                f"skew {self.plan.get('skew_host')} by "
+                f"{self.plan.get('skew', 0):g}s, corrupt lease "
+                f"{str(self.plan.get('corrupt_lease'))[:12]}, "
+                f"ttl {self.plan.get('ttl', 0):g}s",
+            ]
+        else:
+            lines = [
+                f"chaos: E3 quick grid, {self.tasks} tasks, "
+                f"seed {self.seed}, {self.workers} workers",
+                f"plan: {len(self.plan.get('crash', []))} crash, "
+                f"{len(self.plan.get('hang', []))} hang, "
+                f"{len(self.plan.get('flaky', []))} flaky, "
+                f"{self.plan.get('corrupt_entries', 0)} corrupt cache "
+                "entries",
+            ]
+        lines.append(
             f"wall: control {self.control_wall:.1f}s, "
             f"chaos {self.chaos_wall:.1f}s",
-        ]
+        )
         for verdict in self.verdicts:
             status = "PASS" if verdict.passed else "FAIL"
             lines.append(f"[{status}] {verdict.name}: {verdict.detail}")
@@ -479,6 +518,387 @@ def _run_scenario(
             f"{replay.cache_hits} cache hits "
             f"(want {total - len(hang_keys)}), "
             f"{len(replay_mismatches)} mismatches vs control",
+        )
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fleet chaos: kill a whole worker host mid-sweep
+# ----------------------------------------------------------------------
+
+
+def _wait_stopped(pid: int, budget: float = 0.25) -> None:
+    """Wait until a SIGSTOPped process is actually in state T."""
+    deadline = time.monotonic() + budget
+    stat = Path(f"/proc/{pid}/stat")
+    while time.monotonic() < deadline:
+        try:
+            # Field 3 of /proc/<pid>/stat, after the parenthesized comm.
+            state = stat.read_text().rsplit(")", 1)[1].split()[0]
+        except (OSError, IndexError):
+            return  # no procfs (or the process died): fall through
+        if state in ("T", "t", "Z"):
+            return
+        time.sleep(0.005)
+
+
+def _leases_held_by(queue, host: str) -> List[str]:
+    leases = queue.leases()
+    held = []
+    for key in leases.keys():
+        record = leases.read(key)
+        if record is not None and record.host == host:
+            held.append(key)
+    return held
+
+
+def _journal_outcome_count(queue, host: str) -> int:
+    path = queue.journal_path(host)
+    try:
+        text = path.read_text("utf-8")
+    except OSError:
+        return 0
+    return text.count('"kind": "outcome"')
+
+
+def run_fleet_chaos(
+    *,
+    seed: int = 7,
+    workers: int = 3,
+    replications: Optional[int] = None,
+    quick: bool = False,
+    base_dir: Optional[os.PathLike] = None,
+    keep: bool = False,
+    progress: bool = False,
+    ttl: float = 1.5,
+    throttle: float = 0.15,
+    skew: float = 45.0,
+    poll: float = 0.1,
+    drain_timeout: float = 240.0,
+) -> ChaosReport:
+    """Kill a whole fleet host mid-sweep; verify exact convergence.
+
+    Launches ``workers`` fleet worker subprocesses against one shared
+    queue directory, SIGKILLs the first (``host0``) while it holds a
+    task lease, corrupts one of its in-flight lease files, and runs the
+    last host with a wall clock skewed by ``skew`` seconds.  The
+    survivors must drain the queue to the *bit-identical* result table
+    of a single-process clean control: every task completed exactly
+    once, no duplicates in the merged report beyond those folded away
+    and counted, every orphaned lease reclaimed.
+
+    ``throttle`` stretches task execution so the kill window is
+    reliable; ``ttl`` is the lease expiry (short here so reclamation is
+    observable in a smoke run, 30 s in production).
+    """
+    if workers < 2:
+        raise ConfigurationError(
+            "fleet chaos needs >= 2 worker hosts: one is killed "
+            "mid-sweep and the rest must finish the job"
+        )
+    if replications is None:
+        replications = 6 if quick else 10
+
+    import repro
+
+    version = repro.__version__
+    defn = get_experiment("E3")
+    tasks = defn.tasks(seed, replications, quick=True)
+    keys = [spec.key(version) for spec in tasks]
+    total = len(tasks)
+
+    base = (
+        Path(base_dir)
+        if base_dir is not None
+        else Path(tempfile.mkdtemp(prefix="repro-fleet-chaos-"))
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    cleanup = base_dir is None and not keep
+    try:
+        return _run_fleet_scenario(
+            base=base,
+            tasks=tasks,
+            keys=keys,
+            total=total,
+            seed=seed,
+            workers=workers,
+            progress=progress,
+            ttl=ttl,
+            throttle=throttle,
+            skew=skew,
+            poll=poll,
+            drain_timeout=drain_timeout,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+def _run_fleet_scenario(
+    *,
+    base: Path,
+    tasks: List[TaskSpec],
+    keys: List[str],
+    total: int,
+    seed: int,
+    workers: int,
+    progress: bool,
+    ttl: float,
+    throttle: float,
+    skew: float,
+    poll: float,
+    drain_timeout: float,
+) -> ChaosReport:
+    from repro.runner.fleet import FleetQueue, fleet_report, fleet_status
+
+    import repro
+
+    version = repro.__version__
+
+    # -- 1. control: the same grid, single process, no faults ----------
+    control = run_tasks(
+        tasks,
+        chaos_run_task,
+        workers=0,
+        cache=ResultCache(base / "control-cache"),
+        telemetry=RunTelemetry(base / "control-run"),
+        progress=progress,
+    )
+    control_by_key = {
+        o.key: _canonical(dict(o.metrics)) for o in control.outcomes
+    }
+
+    # -- 2. submit the grid to a shared queue directory ----------------
+    queue = FleetQueue(base / "queue")
+    queue.submit(tasks, version=version, options={"seed": seed})
+
+    # -- 3. launch the worker hosts ------------------------------------
+    hosts = [f"host{i}" for i in range(workers)]
+    victim, skew_host = hosts[0], hosts[-1]
+    src_root = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (str(src_root), env.get("PYTHONPATH", ""))
+        if part
+    )
+    env.pop(ENV_VAR, None)  # fleet hosts run the clean task function
+    procs: List[subprocess.Popen] = []
+    log_handles = []
+    started = time.monotonic()
+    for host in hosts:
+        cmd = [
+            sys.executable, "-m", "repro", "fleet", "worker",
+            str(queue.root),
+            "--host", host,
+            "--ttl", f"{ttl:g}",
+            "--poll", f"{poll:g}",
+            "--throttle", f"{throttle:g}",
+        ]
+        if host == skew_host and skew:
+            cmd += ["--skew", f"{skew:g}"]
+        log = (base / f"{host}.log").open("w", encoding="utf-8")
+        log_handles.append(log)
+        procs.append(
+            subprocess.Popen(
+                cmd, env=env, cwd=str(base),
+                stdout=log, stderr=subprocess.STDOUT,
+            )
+        )
+
+    report = ChaosReport(
+        seed=seed,
+        workers=workers,
+        tasks=total,
+        plan={
+            "mode": "fleet",
+            "hosts": hosts,
+            "victim": victim,
+            "skew_host": skew_host,
+            "skew": skew,
+            "ttl": ttl,
+            "throttle": throttle,
+            "corrupt_lease": None,
+        },
+    )
+    report.control_failures = control.failure_summary()
+    report.control_wall = control.wall_time
+    report.verdicts.append(
+        ChaosVerdict(
+            "control_clean",
+            control.executed == total and not control.quarantined,
+            f"executed {control.executed}/{total}, "
+            f"{len(control.quarantined)} quarantined",
+        )
+    )
+
+    killed = False
+    corrupted: Optional[str] = None
+    survivor_rcs: List[int] = []
+    try:
+        # -- 4. SIGKILL the victim while it holds a lease --------------
+        # A naive "saw a lease, pull the trigger" races: if this process
+        # is descheduled between sighting and ``os.kill`` (three worker
+        # interpreters are busy importing NumPy), the kill can land after
+        # the victim retired the task file but before it released the
+        # lease, leaving a *moot* lease that is reaped, not reclaimed.
+        # So freeze the victim with SIGSTOP first, inspect its state at
+        # rest, and only SIGKILL when the lease is provably mid-task
+        # (task file still pending).  Otherwise SIGCONT and retry.
+        victim_proc = procs[0]
+        kill_deadline = time.monotonic() + drain_timeout / 2
+        while time.monotonic() < kill_deadline:
+            if victim_proc.poll() is not None:
+                break  # drained its share before we could pull the plug
+            warmed = (
+                _journal_outcome_count(queue, victim) >= 1
+                or time.monotonic() - started > 1.0
+            )
+            if not warmed:
+                time.sleep(0.02)
+                continue
+            try:
+                os.kill(victim_proc.pid, signal.SIGSTOP)
+            except ProcessLookupError:
+                break
+            _wait_stopped(victim_proc.pid)
+            held = {
+                key
+                for key in _leases_held_by(queue, victim)
+                if queue.task_path(key).exists()
+            }
+            if held and victim_proc.poll() is None:
+                os.kill(victim_proc.pid, signal.SIGKILL)
+                killed = True
+                break
+            try:
+                os.kill(victim_proc.pid, signal.SIGCONT)
+            except ProcessLookupError:
+                break
+            time.sleep(0.02)
+        if not killed and victim_proc.poll() is None:
+            os.kill(victim_proc.pid, signal.SIGKILL)
+            killed = True
+        victim_proc.wait()
+
+        # -- 5. corrupt one in-flight lease ----------------------------
+        # Prefer one of the dead host's orphans: its reclaim must also
+        # survive an unreadable record (ownership is the file, not the
+        # bytes inside it).
+        leases = queue.leases()
+        candidates = _leases_held_by(queue, victim) or list(leases.keys())
+        if candidates:
+            corrupted = candidates[0]
+            leases.path(corrupted).write_bytes(b"\x00\xffgarbage{{{not json")
+            report.plan["corrupt_lease"] = corrupted
+
+        # -- 6. let the survivors drain the queue ----------------------
+        drain_deadline = time.monotonic() + drain_timeout
+        for proc in procs[1:]:
+            budget = max(1.0, drain_deadline - time.monotonic())
+            try:
+                survivor_rcs.append(proc.wait(timeout=budget))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                survivor_rcs.append(-9)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        for log in log_handles:
+            log.close()
+    report.chaos_wall = time.monotonic() - started
+
+    # -- 7. verdicts over the merged state -----------------------------
+    status = fleet_status(queue)
+    merged = fleet_report(queue)
+    report.chaos_failures = merged.failure_summary()
+    report.quarantined = [q.to_record() for q in merged.quarantined]
+
+    leftover_leases = list(queue.leases().keys())
+    merged_keys = [o.key for o in merged.outcomes]
+    complete_ok = (
+        status.pending == 0
+        and not leftover_leases
+        and not merged.quarantined
+        and len(merged_keys) == total
+        and set(merged_keys) == set(keys)
+        and all(rc == 0 for rc in survivor_rcs)
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "fleet_complete",
+            complete_ok,
+            f"{len(merged_keys)}/{total} tasks done "
+            f"({len(set(merged_keys))} distinct), {status.pending} "
+            f"pending, {len(leftover_leases)} leftover leases, "
+            f"{len(merged.quarantined)} quarantined, survivor exit "
+            f"codes {survivor_rcs}",
+        )
+    )
+
+    mismatches = [
+        o.key
+        for o in merged.outcomes
+        if control_by_key.get(o.key) != _canonical(dict(o.metrics))
+    ]
+    report.verdicts.append(
+        ChaosVerdict(
+            "results_match",
+            not mismatches and len(merged_keys) == len(set(merged_keys)),
+            f"{len(mismatches)} metric mismatches vs control, "
+            f"{len(merged_keys) - len(set(merged_keys))} double-counted "
+            "tasks in the merged report",
+        )
+    )
+
+    recovery_ok = (
+        killed
+        and merged.lease_reclaims >= 1
+        and merged.host_failures >= 1
+        and merged.hosts_seen >= 2
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "host_recovery",
+            recovery_ok,
+            f"victim killed: {killed}; {merged.lease_reclaims} lease "
+            f"reclaims, {merged.host_failures} host failures, "
+            f"{merged.hosts_seen} hosts journaled, "
+            f"{merged.duplicates_merged} duplicates merged",
+        )
+    )
+
+    # -- 8. clean replay over the fleet's shared cache -----------------
+    replay = run_tasks(
+        tasks,
+        chaos_run_task,
+        workers=0,
+        cache=queue.cache(),
+        telemetry=RunTelemetry(base / "replay-run"),
+        progress=progress,
+    )
+    replay_mismatches = [
+        o.key
+        for o in replay.outcomes
+        if control_by_key.get(o.key) != _canonical(dict(o.metrics))
+    ]
+    replay_ok = (
+        replay.executed == 0
+        and replay.cache_hits == total
+        and not replay_mismatches
+        and not replay.quarantined
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "replay",
+            replay_ok,
+            f"executed {replay.executed} (want 0), {replay.cache_hits} "
+            f"cache hits (want {total}), {len(replay_mismatches)} "
+            "mismatches vs control",
         )
     )
     return report

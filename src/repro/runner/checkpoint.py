@@ -17,6 +17,21 @@ Because the last line may be torn by a hard kill (OOM, machine loss),
 :meth:`SweepCheckpoint.load` tolerates a truncated *final* line; corrupt
 interior lines still raise, since they indicate something worse than a
 crash mid-append.
+
+Multi-writer journals
+---------------------
+The fleet runner journals one stream per host and resumes from the
+*union* of them, so a journal may legitimately contain the same content
+key more than once — two hosts raced a reclaimed lease, or a merged
+stream replayed a cache hit a dead host had already committed.  ``load``
+resolves duplicates last-write-wins by content key and counts them on
+:attr:`SweepCheckpoint.duplicates` (surfaced as ``duplicates_merged`` in
+the :class:`~repro.runner.executor.RunReport`); a key that appears both
+quarantined and completed resolves to whichever line came last.  Beyond
+the outcome/quarantine kinds, fleet journals carry event lines
+(``host_start``, ``lease_reclaim``, …) written via :meth:`append_event`;
+``load`` skips kinds it does not know, so one file serves as checkpoint
+and telemetry stream at once.
 """
 
 from __future__ import annotations
@@ -33,18 +48,24 @@ class SweepCheckpoint:
     def __init__(self, path: os.PathLike) -> None:
         self.path = Path(path)
         self._handle: Optional[TextIO] = None
+        #: Duplicate content keys resolved (last-write-wins) by the most
+        #: recent :meth:`load` — nonzero only for journals merged from,
+        #: or appended by, more than one writer.
+        self.duplicates = 0
 
     # -- reading -------------------------------------------------------
 
     def load(self) -> Tuple[Dict[str, Dict], Dict[str, Dict]]:
         """Replay the journal into ``(completed, quarantined)`` by key.
 
-        Later lines win (a resumed run may re-append a key), and a
-        truncated final line — the signature of a crash mid-write — is
-        silently dropped.
+        Later lines win (a resumed run may re-append a key, and merged
+        multi-host journals may carry genuine duplicates — counted on
+        :attr:`duplicates`), and a truncated final line — the signature
+        of a crash mid-write — is silently dropped.
         """
         completed: Dict[str, Dict] = {}
         quarantined: Dict[str, Dict] = {}
+        self.duplicates = 0
         if not self.path.exists():
             return completed, quarantined
         with self.path.open("r", encoding="utf-8") as handle:
@@ -62,10 +83,20 @@ class SweepCheckpoint:
                     f"corrupt checkpoint line {number + 1} in {self.path}"
                 ) from None
             kind = entry.get("kind")
+            if kind not in ("outcome", "quarantine"):
+                continue  # fleet event lines share the journal
+            key = entry["key"]
+            if key in completed or key in quarantined:
+                self.duplicates += 1
+            # Last write wins in *both* directions: a later outcome
+            # supersedes an earlier quarantine (another host finished
+            # the task after all) and vice versa.
+            completed.pop(key, None)
+            quarantined.pop(key, None)
             if kind == "outcome":
-                completed[entry["key"]] = entry["record"]
-            elif kind == "quarantine":
-                quarantined[entry["key"]] = entry["record"]
+                completed[key] = entry["record"]
+            else:
+                quarantined[key] = entry["record"]
         return completed, quarantined
 
     # -- writing -------------------------------------------------------
@@ -84,6 +115,12 @@ class SweepCheckpoint:
 
     def append_quarantine(self, key: str, record: Dict[str, Any]) -> None:
         self._append({"kind": "quarantine", "key": key, "record": record})
+
+    def append_event(self, kind: str, **payload: Any) -> None:
+        """Append a non-task event line (fleet telemetry: host lifecycle,
+        lease reclaims).  ``load`` ignores these; the fleet status merger
+        reads them."""
+        self._append({"kind": kind, **payload})
 
     def close(self) -> None:
         if self._handle is not None:

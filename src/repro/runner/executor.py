@@ -123,9 +123,15 @@ class RunReport:
     ``pool_rebuilds`` (worker pools killed and rebuilt), ``quarantined``
     (tasks given up on, with category and detail),
     ``corrupt_cache_entries`` (cache files that failed integrity and
-    were re-run), ``resumed`` (outcomes restored from a checkpoint) and
-    ``fallback_inline`` (the pool could not be kept alive and the run
-    degraded to inline execution).
+    were re-run), ``resumed`` (outcomes restored from a checkpoint),
+    ``duplicates_merged`` (records folded last-write-wins when a
+    checkpoint or merged fleet journal carried a content key more than
+    once) and ``fallback_inline`` (the pool could not be kept alive and
+    the run degraded to inline execution).  Fleet runs additionally
+    populate ``lease_reclaims`` (orphaned task leases stolen from dead
+    hosts), ``hosts_seen`` (distinct worker hosts that journaled) and
+    ``host_failures`` (distinct hosts whose leases had to be reclaimed);
+    the fields stay zero for single-machine runs.
     """
 
     exp_id: str
@@ -142,6 +148,10 @@ class RunReport:
     corrupt_cache_entries: int = 0
     resumed: int = 0
     fallback_inline: bool = False
+    duplicates_merged: int = 0
+    lease_reclaims: int = 0
+    hosts_seen: int = 0
+    host_failures: int = 0
 
     def failure_summary(self) -> Dict[str, Any]:
         """The taxonomy as one flat dict (manifest / CLI rendering)."""
@@ -153,6 +163,10 @@ class RunReport:
             "corrupt_cache_entries": self.corrupt_cache_entries,
             "resumed": self.resumed,
             "fallback_inline": self.fallback_inline,
+            "duplicates_merged": self.duplicates_merged,
+            "lease_reclaims": self.lease_reclaims,
+            "hosts_seen": self.hosts_seen,
+            "host_failures": self.host_failures,
         }
 
     def grouped(self) -> Dict[str, List[TaskOutcome]]:
@@ -803,8 +817,10 @@ def run_tasks(
     corrupt_before = cache.corrupt if cache is not None else 0
     ckpt_completed: Dict[str, Dict] = {}
     ckpt_quarantined: Dict[str, Dict] = {}
+    ckpt_duplicates = 0
     if checkpoint is not None:
         ckpt_completed, ckpt_quarantined = checkpoint.load()
+        ckpt_duplicates = checkpoint.duplicates
 
     keys = [spec.key(version) for spec in tasks]
     outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
@@ -973,6 +989,7 @@ def run_tasks(
         ),
         resumed=resumed,
         fallback_inline=execution.fallback_inline,
+        duplicates_merged=ckpt_duplicates,
     )
     if telemetry is not None:
         telemetry.finish(

@@ -1,0 +1,273 @@
+"""Atomic task leases over a shared directory — the fleet's only lock.
+
+The fleet runner has no coordinator: workers on any number of machines
+race for tasks through small lease files in a directory every host can
+reach (local disk for one machine, NFS or similar for many).  Three
+primitives make the race safe:
+
+* **claim** — ``os.open(..., O_CREAT | O_EXCL)``: exactly one creator
+  wins, everyone else sees ``FileExistsError``.  The file body is a JSON
+  record (host, pid, steal count) for observability; ownership itself is
+  the file's existence, never its content.
+* **heartbeat** — the owner refreshes the lease file's mtime while it
+  works.  A lease whose mtime keeps changing has a live owner.
+* **reclaim** — a lease whose mtime has *not changed* for one TTL is
+  orphaned (its host died or wedged).  A rival atomically renames it to
+  a private tombstone — exactly one renamer can win — reads the old
+  record out of the tombstone, and re-claims with ``steal_count + 1``.
+  The steal count is the fleet's retry budget: a task whose lease keeps
+  getting stolen is killing its hosts and gets quarantined.
+
+Staleness is decided without ever comparing a lease's timestamp against
+the observer's own clock.  A host with a skewed clock stamps skewed
+mtimes, and trusting them would either reclaim live leases (skew behind)
+or never reclaim dead ones (skew ahead).  Instead each observer tracks
+whether the mtime has *changed* between its own looks and measures the
+dwell on its local monotonic clock (:class:`LeaseObserver`): heartbeats
+from a live owner keep changing the mtime no matter whose clock stamps
+it, so the scheme is immune to arbitrary clock skew between hosts.
+
+Residual races degrade to *duplicate execution*, never to task loss: in
+the (heartbeat-lands-inside-the-reclaimer's-stat-window) corner where a
+live lease is stolen, both the old and new owner run the task, and both
+commit the same content-addressed record through an idempotent atomic
+rename.  The merge layer deduplicates by content key.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Suffix of live lease files (tombstones use ``.steal-*`` and are
+#: ignored by listings).
+LEASE_SUFFIX = ".lease"
+
+_tomb_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """What a lease file says about its owner.
+
+    ``claimed_unix`` is informational only — it is written with the
+    owner's (possibly skewed) clock and is never consulted for expiry.
+    """
+
+    host: str
+    pid: int
+    steal_count: int
+    claimed_unix: float
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "host": self.host,
+            "pid": self.pid,
+            "steal_count": self.steal_count,
+            "claimed_unix": self.claimed_unix,
+        }
+
+
+class LeaseObserver:
+    """Skew-immune staleness detection for one observing worker.
+
+    Tracks, per key, the last mtime seen and *when this observer first
+    saw it* (local monotonic clock).  A lease is stale once its mtime has
+    sat unchanged for longer than ``ttl`` of the observer's own time.  A
+    worker that just joined must therefore watch an orphaned lease for
+    one full TTL before reclaiming it — which is exactly the bound
+    "orphans are reclaimed within one expiry interval".
+    """
+
+    def __init__(self, ttl: float) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.ttl = ttl
+        self._seen: Dict[str, Tuple[int, float]] = {}
+
+    def stale(self, key: str, mtime_ns: int) -> bool:
+        """Record one look at ``key``; True once the dwell exceeds TTL."""
+        now = time.monotonic()
+        seen = self._seen.get(key)
+        if seen is None or seen[0] != mtime_ns:
+            self._seen[key] = (mtime_ns, now)
+            return False
+        return now - seen[1] > self.ttl
+
+    def forget(self, key: str) -> None:
+        self._seen.pop(key, None)
+
+
+class LeaseDir:
+    """The shared lease directory of one fleet queue.
+
+    ``clock_skew`` simulates a host whose wall clock is wrong by that
+    many seconds: claims and heartbeats stamp ``now + skew`` as explicit
+    mtimes, the way a skewed NFS client would.  The chaos harness uses
+    it to prove the reclaim protocol never reads absolute timestamps.
+    """
+
+    def __init__(
+        self, root: os.PathLike, clock_skew: float = 0.0
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.clock_skew = clock_skew
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}{LEASE_SUFFIX}"
+
+    def _stamp(self, path: Path) -> None:
+        """Apply this host's (possibly skewed) clock to the lease mtime."""
+        if self.clock_skew:
+            skewed = time.time() + self.clock_skew
+            try:
+                os.utime(path, (skewed, skewed))
+            except OSError:
+                pass
+
+    # -- primitives ----------------------------------------------------
+
+    def claim(
+        self, key: str, host: str, steal_count: int = 0
+    ) -> bool:
+        """Create-exclusive claim of ``key``; True iff this call won."""
+        record = LeaseRecord(
+            host=host,
+            pid=os.getpid(),
+            steal_count=steal_count,
+            claimed_unix=time.time() + self.clock_skew,
+        )
+        path = self.path(key)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(record.to_record(), handle, sort_keys=True)
+        self._stamp(path)
+        return True
+
+    def read(self, key: str) -> Optional[LeaseRecord]:
+        """The lease record for ``key`` — None if absent *or corrupt*.
+
+        A corrupt lease (torn write, scribbled bytes) still represents a
+        claim — the file exists — so callers treat None-with-file as an
+        anonymous owner rather than crashing or ignoring it.
+        """
+        return self._read_file(self.path(key))
+
+    def _read_file(self, path: Path) -> Optional[LeaseRecord]:
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+            return LeaseRecord(
+                host=str(payload["host"]),
+                pid=int(payload["pid"]),
+                steal_count=int(payload["steal_count"]),
+                claimed_unix=float(payload["claimed_unix"]),
+            )
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+    def heartbeat(self, key: str) -> bool:
+        """Refresh the lease mtime; False if the lease vanished (stolen)."""
+        path = self.path(key)
+        try:
+            if self.clock_skew:
+                skewed = time.time() + self.clock_skew
+                os.utime(path, (skewed, skewed))
+            else:
+                os.utime(path, None)
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop the claim on ``key`` (tolerates an already-stolen lease)."""
+        try:
+            os.unlink(self.path(key))
+        except OSError:
+            pass
+
+    def mtime_ns(self, key: str) -> Optional[int]:
+        try:
+            return os.stat(self.path(key)).st_mtime_ns
+        except OSError:
+            return None
+
+    def keys(self) -> List[str]:
+        """All currently-claimed keys (sorted; tombstones excluded)."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(LEASE_SUFFIX)]
+            for name in names
+            if name.endswith(LEASE_SUFFIX)
+        )
+
+    # -- reclamation ---------------------------------------------------
+
+    def reclaim(
+        self, key: str, host: str, observer: LeaseObserver
+    ) -> Optional[LeaseRecord]:
+        """Steal ``key``'s lease if it is stale; the old record on success.
+
+        The steal is arbitrated by ``os.rename`` to a tombstone private
+        to this claimant: exactly one racing reclaimer can move the file,
+        the rest get ``FileNotFoundError`` and lose.  The winner reads
+        the victim's record out of the tombstone (a corrupt lease reads
+        as an anonymous victim with ``steal_count=0``), removes it, and
+        re-claims with ``steal_count + 1``.
+
+        Returns the *previous* owner's record when this worker now holds
+        the lease, else None (not stale yet, lost the race, or someone
+        claimed between our steal and re-claim — all fine: somebody owns
+        the task).
+        """
+        path = self.path(key)
+        try:
+            mtime_ns = os.stat(path).st_mtime_ns
+        except OSError:
+            observer.forget(key)
+            return None
+        if not observer.stale(key, mtime_ns):
+            return None
+        # Re-check right before the steal: a heartbeat that landed since
+        # our last look means the owner is alive after all.
+        try:
+            if os.stat(path).st_mtime_ns != mtime_ns:
+                observer.forget(key)
+                return None
+        except OSError:
+            observer.forget(key)
+            return None
+        tomb = self.root / (
+            f".{key}.steal-{os.getpid()}-{next(_tomb_counter)}"
+        )
+        try:
+            os.rename(path, tomb)
+        except OSError:
+            # Another reclaimer won, or the owner released: either way
+            # the lease we watched is gone.
+            observer.forget(key)
+            return None
+        observer.forget(key)
+        old = self._read_file(tomb) or LeaseRecord(
+            host="(corrupt lease)", pid=0, steal_count=0, claimed_unix=0.0
+        )
+        try:
+            os.unlink(tomb)
+        except OSError:
+            pass
+        if self.claim(key, host, steal_count=old.steal_count + 1):
+            return old
+        return None

@@ -37,9 +37,10 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO, Tuple
 
 from repro.analysis.stats import summarize
+from repro.runner.atomicio import atomic_write_json
 
 
 def median(samples: Sequence[float]) -> float:
@@ -231,19 +232,21 @@ class RunTelemetry:
         )
 
     def _write_manifest(self) -> None:
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(self._manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, self.manifest_path)
+        # Same-directory temp + os.replace (never the system tmpdir):
+        # the rename must not cross filesystems when the run dir is on
+        # shared/NFS storage.
+        atomic_write_json(self.manifest_path, self._manifest, indent=2)
 
 
-def _read_jsonl(path: Path) -> List[Dict[str, Any]]:
+def _read_jsonl(path: Path, strict: bool = True) -> List[Dict[str, Any]]:
     """Parse a JSONL file, tolerating a truncated *final* line.
 
     A crash (OOM-kill, power loss) can tear the line being appended;
-    every earlier line was flushed whole.  A corrupt interior line still
-    raises — that is damage, not interruption.
+    every earlier line was flushed whole.  With ``strict`` (the default,
+    right for single-writer files) a corrupt interior line raises — that
+    is damage, not interruption.  ``strict=False`` skips corrupt
+    interior lines instead: a stream a killed host was appending to can
+    carry its torn line anywhere once merged with others.
     """
     with path.open("r", encoding="utf-8") as handle:
         lines = handle.readlines()
@@ -255,17 +258,46 @@ def _read_jsonl(path: Path) -> List[Dict[str, Any]]:
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError:
-            if number == len(lines) - 1:
-                break
+            if number == len(lines) - 1 or not strict:
+                continue
             raise ValueError(
                 f"corrupt record at {path}:{number + 1}"
             ) from None
     return records
 
 
-def read_telemetry(run_dir: os.PathLike) -> List[Dict[str, Any]]:
+def read_telemetry(
+    run_dir: os.PathLike, strict: bool = True
+) -> List[Dict[str, Any]]:
     """Parse a run's ``telemetry.jsonl`` back into records."""
-    return _read_jsonl(Path(run_dir) / "telemetry.jsonl")
+    return _read_jsonl(Path(run_dir) / "telemetry.jsonl", strict=strict)
+
+
+def merge_task_records(
+    records: Sequence[Mapping[str, Any]],
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Deduplicate task records from interleaved multi-writer streams.
+
+    Fleet hosts journal independently, and a task can legitimately be
+    recorded twice — a lease reclaimed mid-commit, or a cache hit
+    replayed for a dead host's committed task.  Resolution is
+    last-write-wins by content ``key`` (records without a key are kept
+    verbatim), preserving first-appearance order.  Returns the merged
+    records and the number of duplicates folded away — surfaced as
+    ``duplicates_merged`` in reports.
+    """
+    merged: Dict[Any, Dict[str, Any]] = {}
+    keyless: List[Dict[str, Any]] = []
+    duplicates = 0
+    for record in records:
+        key = record.get("key")
+        if key is None:
+            keyless.append(dict(record))
+            continue
+        if key in merged:
+            duplicates += 1
+        merged[key] = dict(record)
+    return list(merged.values()) + keyless, duplicates
 
 
 def read_quarantine(run_dir: os.PathLike) -> List[Dict[str, Any]]:
@@ -330,9 +362,5 @@ def bench_summary(report) -> Dict[str, Any]:
 def write_bench_summary(report, path: os.PathLike) -> Dict[str, Any]:
     """Write :func:`bench_summary` to ``path`` and return the payload."""
     payload = bench_summary(report)
-    out = Path(path)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    with out.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, payload, indent=2)
     return payload
