@@ -25,8 +25,6 @@ contended layered band the effective service rate drops and the knee
 moves left, toward the analysis's regime.
 """
 
-import random
-
 from conftest import replication_seeds
 
 from repro.analysis import print_table, summarize
@@ -43,7 +41,7 @@ def measure_sojourn(graph, tree, sources, rate, seed, phases=260):
         sources=sources,
         rate=rate,
         phase_length=phase_length,
-        rng=random.Random(seed ^ 0xBEEF),
+        seed=seed ^ 0xBEEF,
     )
     result = run_streaming_collection(
         graph,

@@ -1,11 +1,16 @@
-"""Speedup regression gate for the engine benchmarks.
+"""Regression gate for the benchmark summaries.
 
 Compares freshly produced ``benchmarks/results/BENCH_*.json`` summaries
 against the committed baselines in ``benchmarks/floors.json`` and fails
-(exit 1) when any measured speedup fell more than the tolerated fraction
+(exit 1) when any measured figure fell more than the tolerated fraction
 below its baseline — the committed default tolerates a 20% dip, which
 absorbs runner-to-runner jitter while still catching a kernel that
 silently degraded.
+
+Each baseline entry names the summary key it gates with ``metric``
+(default ``speedup``); the baseline value lives under that same key.
+All gated metrics are bigger-is-better ratios (engine speedups, the
+service mode's memory-saving ratio), so one floor rule covers them.
 
 Usage (after running the benchmarks that write the summaries)::
 
@@ -52,12 +57,17 @@ def check(results_dir: Path, only: list[str] | None = None) -> int:
             failures += 1
             continue
         summary = json.loads(path.read_text())
-        measured = float(summary["speedup"])
-        baseline = float(entry["speedup"])
+        metric = entry.get("metric", "speedup")
+        if metric not in summary:
+            print(f"FAIL  {name}: {path.name} has no {metric!r} key")
+            failures += 1
+            continue
+        measured = float(summary[metric])
+        baseline = float(entry[metric])
         floor = tolerance * baseline
         verdict = "ok" if measured >= floor else "FAIL"
         print(
-            f"{verdict:>4}  {name}: speedup {measured:.2f}x "
+            f"{verdict:>4}  {name}: {metric} {measured:.2f}x "
             f"(baseline {baseline:.2f}x, floor {floor:.2f}x)"
         )
         if measured < floor:
@@ -68,7 +78,7 @@ def check(results_dir: Path, only: list[str] | None = None) -> int:
             f"{(1 - tolerance) * 100:.0f}% below baseline"
         )
         return 1
-    print("all benchmark speedups within tolerance")
+    print("all benchmark metrics within tolerance")
     return 0
 
 

@@ -14,6 +14,14 @@ Commands
     Run collection under the standard fault scenarios (churn, fading,
     jamming, blackout, partition) and report delivery ratio, slowdown
     vs. the failure-free baseline, repairs and partition detection.
+``service [--topology T] [--rate λ] [--phases N] [--sweep] …``
+    Open-system service mode: stream unbounded per-station arrivals
+    through collection over a long horizon and report the streaming
+    KPIs (sojourn moments and P² percentiles, queue occupancy,
+    throughput, backlog-drift stability) against the §4 tandem-queue
+    oracle.  ``--sweep`` instead walks λ across the predicted critical
+    rate and reports the detected stability knee.  The same cells run
+    grid-style as experiments E19/E20 (``run E19``, ``run E20``).
 ``run <EXP_ID> [--engine vector] [--workers N] [--cache DIR] …``
     Run a registered experiment grid through the parallel runner:
     sharded execution, content-addressed result cache, JSONL telemetry.
@@ -369,6 +377,136 @@ def _cmd_run(argv: list) -> int:
     if args.json:
         write_bench_summary(report, args.json)
         print(f"summary json: {args.json}")
+    return 0
+
+
+def _cmd_service(argv: list) -> int:
+    import argparse
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.runner.defs import service_metrics, service_sources, sweep_metrics
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro service",
+        description=(
+            "Open-system service mode: stream unbounded per-station "
+            "arrivals through the collection protocol over a long "
+            "horizon with constant-memory streaming KPIs, validated "
+            "against the §4 tandem-queue closed forms.  With --sweep, "
+            "walk the arrival rate across the predicted critical λ and "
+            "locate the stability knee instead."
+        ),
+    )
+    parser.add_argument(
+        "--topology", default="path-12",
+        help="topology name, e.g. path-12, band-4x3 (default: path-12)",
+    )
+    parser.add_argument(
+        "--source-mode", choices=("tail", "bottom", "all"), default="tail",
+        help=(
+            "which stations originate traffic: the single deepest "
+            "('tail', default), every deepest-level station ('bottom') "
+            "or every non-root station ('all')"
+        ),
+    )
+    parser.add_argument(
+        "--arrival", choices=("bernoulli", "poisson"), default="bernoulli",
+        help="arrival process per source (default: bernoulli)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.3,
+        help="offered load per source per phase (default: 0.3)",
+    )
+    parser.add_argument(
+        "--phases", type=int, default=1500,
+        help="horizon in Decay phases (default: 1500)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="run a saturation sweep instead of a single cell",
+    )
+    parser.add_argument(
+        "--points", type=int, default=7,
+        help="sweep points across the predicted knee (default: 7)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the metrics JSON to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        _, tree, sources = service_sources(
+            args.topology, args.source_mode, args.seed
+        )
+        if args.sweep:
+            metrics = sweep_metrics(
+                args.topology, args.source_mode, args.points,
+                args.phases, args.seed,
+            )
+        else:
+            metrics = service_metrics(
+                args.topology, args.source_mode, args.arrival,
+                args.rate, args.phases, args.seed,
+            )
+    except ConfigurationError as exc:
+        print(f"cannot run service mode: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"{args.topology} depth={tree.depth} sources={len(sources)} "
+        f"({args.source_mode})"
+    )
+    if args.sweep:
+        print(
+            f"capacity µ_eff = {metrics['capacity_per_phase']:.4f}/phase, "
+            f"critical λ = {metrics['critical_rate_per_source']:.4f}/source"
+        )
+        knee = (
+            f"knee = ({metrics['knee_low']:.4f}, {metrics['knee_high']:.4f})"
+            if metrics["knee_found"]
+            else "knee not found (sweep never destabilized)"
+        )
+        verdict = (
+            "brackets the analytic critical rate"
+            if metrics["knee_brackets_critical"]
+            else "does NOT bracket the analytic critical rate"
+        )
+        print(f"{knee} over {metrics['points']} points — {verdict}")
+    else:
+        print(
+            f"offered {metrics['offered_per_phase']:.4f}/phase over "
+            f"{args.phases} phases ({metrics['horizon_slots']} slots, "
+            f"warmup {metrics['warmup_slots']}); "
+            f"{'stable' if metrics['stable'] else 'UNSTABLE'}"
+        )
+        print(
+            f"sojourn: mean {metrics['sojourn_phases']:.2f} phases "
+            f"(predicted {metrics['predicted_sojourn_phases']:.2f}, "
+            f"ratio {metrics['sojourn_ratio']:.2f}), "
+            f"p50 {metrics['sojourn_p50_phases']:.2f}, "
+            f"p90 {metrics['sojourn_p90_phases']:.2f}, "
+            f"p99 {metrics['sojourn_p99_phases']:.2f}"
+        )
+        print(
+            f"queue:   mean {metrics['queue_mean']:.2f} msgs "
+            f"(predicted {metrics['predicted_queue_mean']:.2f}, "
+            f"ratio {metrics['queue_ratio']:.2f}); "
+            f"throughput {metrics['throughput_per_phase']:.4f}/phase; "
+            f"in-flight peak {metrics['in_flight_peak']}"
+        )
+    if args.json:
+        import os
+
+        parent = os.path.dirname(args.json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"service json: {args.json}")
     return 0
 
 
@@ -802,6 +940,8 @@ def main(argv: list) -> int:
     command = argv[0]
     if command == "run":
         return _cmd_run(argv[1:])
+    if command == "service":
+        return _cmd_service(argv[1:])
     if command == "profile":
         return _cmd_profile(argv[1:])
     if command == "chaos":

@@ -5,6 +5,7 @@ from repro.analysis.stats import (
     Summary,
     geometric_pmf,
     linear_fit,
+    quantile,
     r_squared,
     replicate,
     scaling_exponent,
@@ -54,6 +55,7 @@ __all__ = [
     "geometric_pmf",
     "linear_fit",
     "print_table",
+    "quantile",
     "r_squared",
     "record_collection_timeline",
     "render_timeline",

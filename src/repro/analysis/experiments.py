@@ -161,6 +161,20 @@ REGISTRY: List[Experiment] = [
         "bench_scale.py",
         ("repro.vector.engine", "repro.graphs.generators"),
     ),
+    Experiment(
+        "E19",
+        "open-system KPIs in constant memory track the tandem oracle",
+        "§4 (Geo/Geo/1 tandem, open system)",
+        "bench_service.py",
+        ("repro.service", "repro.workloads"),
+    ),
+    Experiment(
+        "E20",
+        "the measured stability knee brackets the analytic critical λ",
+        "§4.3 (stability threshold)",
+        "bench_service.py",
+        ("repro.service.sweep", "repro.queueing"),
+    ),
 ]
 
 

@@ -52,6 +52,30 @@ def summarize(samples: Sequence[float], z: float = 1.96) -> Summary:
     )
 
 
+def quantile(samples: Sequence[float], p: float) -> float:
+    """Exact p-quantile by sorted linear interpolation.
+
+    Uses the inclusive midpoint convention (numpy's default
+    ``linear``): the p-quantile of n samples sits at rank
+    ``p·(n−1)`` of the sorted data, interpolating between the two
+    nearest order statistics.  This is the ground truth the streaming
+    :class:`repro.service.streaming.P2Quantile` sketch is validated
+    against.
+    """
+    if not samples:
+        raise ConfigurationError("cannot take a quantile of an empty sample")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0,1], got {p}")
+    ordered = sorted(float(v) for v in samples)
+    rank = p * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
 def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
     """Least-squares fit ``y ≈ slope·x + intercept``."""
     if len(xs) != len(ys):

@@ -62,6 +62,7 @@ class CollectionProcess(Process):
         channel: int = UP_CHANNEL,
         strict: bool = True,
         retry: Optional[RetryPolicy] = None,
+        dedup_window: Optional[int] = None,
     ):
         super().__init__(info.node_id)
         self.info = info
@@ -77,6 +78,7 @@ class CollectionProcess(Process):
             channel=channel,
             strict=strict,
             retry=retry,
+            dedup_window=dedup_window,
         )
         self.channel = channel
         self.delivered: List[DataMessage] = []  # root only
@@ -175,6 +177,7 @@ def build_collection_network(
     level_classes: int = 3,
     strict: bool = True,
     budget: Optional[int] = None,
+    dedup_window: Optional[int] = None,
 ) -> Tuple[RadioNetwork, Dict[NodeId, CollectionProcess], SlotStructure]:
     """Wire a radio network running collection on every station.
 
@@ -182,6 +185,10 @@ def build_collection_network(
     Returns the network, the process map and the slot structure; callers
     that want custom run loops (benchmarks, reactive workloads) use this
     directly, everyone else uses :func:`run_collection`.
+
+    ``dedup_window`` bounds each lane's duplicate-suppression memory
+    (open-system service runs pass one; closed runs keep the default
+    exact, unbounded set).
     """
     from repro.rng import RngFactory
 
@@ -205,6 +212,7 @@ def build_collection_network(
             initial_payloads=sources.get(node, ()),
             channel=0,
             strict=strict,
+            dedup_window=dedup_window,
         )
         processes[node] = process
         network.attach(process)

@@ -110,7 +110,12 @@ class TransportLane:
         strict: bool = True,
         session_factory: Optional[Callable[[], "SessionLike"]] = None,
         retry: Optional[RetryPolicy] = None,
+        dedup_window: Optional[int] = None,
     ):
+        if dedup_window is not None and dedup_window < 1:
+            raise ConfigurationError(
+                f"dedup_window must be >= 1 or None, got {dedup_window}"
+            )
         self.node_id = node_id
         self.level = level
         self.slots = slots
@@ -136,7 +141,16 @@ class TransportLane:
         self._session_phase = -1
         self._head: Optional[DataMessage] = None
         self._pending_ack: Optional[Tuple[int, AckMessage]] = None
+        # Duplicate suppression.  Closed runs keep every accepted id (an
+        # exact tripwire for Thm 3.1 violations); open-system service
+        # runs pass a ``dedup_window`` bound so a horizon of millions of
+        # messages never accretes per-message state — a realistic
+        # duplicate (re-reception after a lost ack) arrives within a
+        # phase or two of the original, far inside any sane window.
         self._accepted_ids: Set[Tuple[NodeId, int]] = set()
+        self._dedup_window = dedup_window
+        self._accepted_order: Deque[Tuple[NodeId, int]] = deque()
+        self._evictions_since_rebuild = 0
         # Retry/backoff state for the current head (only used with a
         # retry policy; see RetryPolicy).
         self._attempt_msg_id: Optional[Tuple[NodeId, int]] = None
@@ -329,6 +343,18 @@ class TransportLane:
                 )
             return False
         self._accepted_ids.add(message.msg_id)
+        if self._dedup_window is not None:
+            self._accepted_order.append(message.msg_id)
+            while len(self._accepted_order) > self._dedup_window:
+                self._accepted_ids.discard(self._accepted_order.popleft())
+                self._evictions_since_rebuild += 1
+            if self._evictions_since_rebuild >= self._dedup_window:
+                # CPython sets never shrink on discard (dummy entries
+                # accrete and the table keeps resizing up), so a churn
+                # of W evictions rebuilds the set from the bounded
+                # deque — amortized O(1), table size pinned to W.
+                self._accepted_ids = set(self._accepted_order)
+                self._evictions_since_rebuild = 0
         return True
 
     def accept_ack(self, ack: AckMessage) -> None:

@@ -430,3 +430,194 @@ register(
         default_timeout=300.0,
     )
 )
+
+
+# ----------------------------------------------------------------------
+# E19 / E20 — open-system service mode (repro.service)
+# ----------------------------------------------------------------------
+
+E19_CELLS = (
+    {"topology": "path-12", "source_mode": "tail", "arrival": "bernoulli",
+     "rate": 0.3, "phases": 1200},
+    {"topology": "path-12", "source_mode": "tail", "arrival": "poisson",
+     "rate": 0.3, "phases": 1200},
+    {"topology": "band-4x3", "source_mode": "bottom", "arrival": "bernoulli",
+     "rate": 0.12, "phases": 1200},
+)
+E19_QUICK_CELLS = (
+    {"topology": "path-8", "source_mode": "tail", "arrival": "bernoulli",
+     "rate": 0.25, "phases": 240},
+)
+
+
+def service_sources(topology: str, source_mode: str, seed: int):
+    """Build (graph, tree, sources) for one service cell.
+
+    ``source_mode``: ``"tail"`` = the single deepest station, ``"bottom"``
+    = every deepest-level station, ``"all"`` = every non-root station.
+    """
+    graph = build_topology(topology, random.Random(seed))
+    tree = reference_bfs_tree(graph, 0)
+    if source_mode == "tail":
+        sources = [max(tree.nodes, key=lambda v: (tree.level[v], v))]
+    elif source_mode == "bottom":
+        sources = [n for n in tree.nodes if tree.level[n] == tree.depth]
+    elif source_mode == "all":
+        sources = [n for n in tree.nodes if n != tree.root]
+    else:
+        raise ConfigurationError(
+            f"unknown source_mode {source_mode!r} "
+            "(expected 'tail', 'bottom' or 'all')"
+        )
+    return graph, tree, sources
+
+
+def service_metrics(
+    topology: str,
+    source_mode: str,
+    arrival: str,
+    rate: float,
+    phases: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One E19 task: open-system KPIs + tandem-oracle comparison.
+
+    Streams ``rate``-per-source-per-phase arrivals (Bernoulli or
+    Poisson) for ``phases`` phases, measures the streaming KPIs with
+    warmup truncation, probes the pipeline's saturation capacity, and
+    reports measured vs predicted sojourn/queue (``sojourn_ratio``,
+    ``queue_ratio``) against `repro.queueing.analysis`.
+    """
+    from repro.core.slots import SlotStructure, decay_budget
+    from repro.rng import derive_seed
+    from repro.service import (
+        compare_with_oracle,
+        measure_capacity,
+        run_service,
+    )
+    from repro.workloads import BernoulliArrivals, PoissonArrivals
+
+    graph, tree, sources = service_sources(topology, source_mode, seed)
+    phase_length = SlotStructure(
+        decay_budget(graph.max_degree()), 3, True
+    ).phase_length
+    if arrival == "bernoulli":
+        arrivals = BernoulliArrivals(
+            sources, rate, phase_length, seed=derive_seed(seed, "arrivals")
+        )
+    elif arrival == "poisson":
+        arrivals = PoissonArrivals.per_phase_rate(
+            sources, rate, phase_length, seed=derive_seed(seed, "arrivals")
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown arrival process {arrival!r} "
+            "(expected 'bernoulli' or 'poisson')"
+        )
+    kpis = run_service(
+        graph, tree, arrivals, seed=seed,
+        horizon_slots=phases * phase_length,
+    )
+    capacity = measure_capacity(
+        graph, tree, sources, seed,
+        phases=min(300, max(120, phases // 4)),
+    )
+    oracle = compare_with_oracle(kpis, capacity)
+    return {**kpis.to_metrics(), **oracle.to_dict()}
+
+
+def _e19_tasks(
+    seed: int, replications: int, quick: bool = False, **_: Any
+) -> List[TaskSpec]:
+    cells = E19_QUICK_CELLS if quick else E19_CELLS
+    return task_grid("E19", list(cells), replications, seed)
+
+
+def _e19_run(spec: TaskSpec) -> Dict[str, Any]:
+    params = spec.params
+    return service_metrics(
+        params["topology"], params["source_mode"], params["arrival"],
+        params["rate"], params["phases"], spec.seed,
+    )
+
+
+register(
+    ExperimentDef(
+        exp_id="E19",
+        title="open-system service KPIs vs the §4 tandem oracle",
+        make_tasks=_e19_tasks,
+        run_task=_e19_run,
+        summary_metrics=(
+            "sojourn_phases", "queue_mean", "throughput_per_phase",
+            "sojourn_ratio",
+        ),
+        # Long-horizon streaming runs; budget for the capacity probe too.
+        default_timeout=600.0,
+    )
+)
+
+
+E20_CELLS = (
+    {"topology": "band-4x3", "source_mode": "bottom", "points": 7,
+     "phases": 500},
+    # A second contended cell; a single-source path would never
+    # destabilize (its max arrival rate equals the uncontended hop
+    # service rate — the E15 flat line), so sweeps need contention.
+    {"topology": "band-4x4", "source_mode": "bottom", "points": 5,
+     "phases": 400},
+)
+E20_QUICK_CELLS = (
+    {"topology": "band-4x3", "source_mode": "bottom", "points": 3,
+     "phases": 220},
+)
+
+
+def sweep_metrics(
+    topology: str, source_mode: str, points: int, phases: int, seed: int
+) -> Dict[str, Any]:
+    """One E20 task: locate the stability knee and validate it.
+
+    Probes capacity, walks λ across the predicted critical rate with
+    ``points`` sweep points of ``phases`` phases each, and reports the
+    detected knee bracket plus whether it contains the analytic
+    critical rate µ_eff/|sources| (``knee_brackets_critical``).
+    """
+    from repro.service import saturation_sweep
+
+    graph, tree, sources = service_sources(topology, source_mode, seed)
+    result = saturation_sweep(
+        graph, tree, sources, seed=seed, points=points,
+        phases_per_point=phases,
+        capacity_phases=max(150, phases // 2),
+    )
+    return result.to_metrics()
+
+
+def _e20_tasks(
+    seed: int, replications: int, quick: bool = False, **_: Any
+) -> List[TaskSpec]:
+    cells = E20_QUICK_CELLS if quick else E20_CELLS
+    return task_grid("E20", list(cells), replications, seed)
+
+
+def _e20_run(spec: TaskSpec) -> Dict[str, Any]:
+    params = spec.params
+    return sweep_metrics(
+        params["topology"], params["source_mode"], params["points"],
+        params["phases"], spec.seed,
+    )
+
+
+register(
+    ExperimentDef(
+        exp_id="E20",
+        title="saturation sweep: stability knee vs analytic critical λ",
+        make_tasks=_e20_tasks,
+        run_task=_e20_run,
+        summary_metrics=(
+            "critical_rate_per_source", "knee_low", "knee_high",
+        ),
+        # A sweep is many service runs; give it the widest tail budget.
+        default_timeout=900.0,
+    )
+)

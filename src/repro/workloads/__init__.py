@@ -5,6 +5,7 @@ from repro.workloads.arrivals import (
     BernoulliArrivals,
     BurstArrivals,
     DeterministicSchedule,
+    PoissonArrivals,
 )
 from repro.workloads.driver import (
     BroadcastStreamRecord,
@@ -24,6 +25,7 @@ __all__ = [
     "BurstArrivals",
     "DeterministicSchedule",
     "MessageRecord",
+    "PoissonArrivals",
     "StreamingResult",
     "run_streaming_broadcast",
     "run_streaming_collection",

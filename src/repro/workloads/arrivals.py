@@ -7,22 +7,39 @@ processes experiments drive the protocols with:
 
 * :class:`BernoulliArrivals` — the analysis's own model: each phase,
   each source independently originates a message with probability λ.
+* :class:`PoissonArrivals` — continuous-time traffic: per-station
+  ``expovariate`` inter-arrival streams (the Meshtasticator generator
+  idiom), discretized onto slots.
 * :class:`DeterministicSchedule` — scripted (slot, source, payload)
   triples, for tests and trace replay.
 * :class:`BurstArrivals` — periodic synchronized bursts (every source
   fires every ``period`` phases), the classic sensor-sampling pattern.
 
 All processes yield per-slot batches so drivers can inject mid-run.
+
+Determinism contract
+--------------------
+Stochastic processes are *slot-indexed*: the batch returned for a slot
+is a pure function of ``(seed, slot)``, derived through the
+:mod:`repro.rng` sha256 scheme rather than drawn from a shared
+``random.Random`` in call order.  Two drivers that poll different slot
+subsets (e.g. an idle-aware loop that skips quiet stretches) therefore
+see byte-identical arrival sequences on the slots they do poll, and an
+arrival process can be re-created mid-run without perturbing anything.
+:class:`PoissonArrivals` is the one sequential process (inter-arrival
+gaps accumulate); its per-station streams are still seed-derived and
+its queries must be slot-monotone — arrivals that fall into skipped
+slots are emitted, never lost, at the next polled slot.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.graphs.graph import NodeId
+from repro.rng import child_rng
 
 
 class ArrivalProcess:
@@ -49,12 +66,27 @@ class DeterministicSchedule(ArrivalProcess):
         return self._by_slot.get(slot, [])
 
 
+def _require_seed(seed: object) -> int:
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ConfigurationError(
+            "arrival processes take an integer seed and derive their "
+            "slot-indexed streams via repro.rng (a shared random.Random "
+            "would make arrivals depend on poll order); got "
+            f"{type(seed).__name__}"
+        )
+    return seed
+
+
 class BernoulliArrivals(ArrivalProcess):
     """Each source fires independently with probability λ per *phase*.
 
     The §4 analysis counts time in Decay phases, so the rate is applied
     once per ``phase_length`` slots (at the phase's first slot); passing
     ``phase_length=1`` gives per-slot Bernoulli arrivals instead.
+
+    The coin flips of phase p are drawn from the derived stream
+    ``child_rng(seed, "bernoulli-phase", p)`` in fixed source order, so
+    the batch at any slot is a pure function of ``(seed, slot)``.
     """
 
     def __init__(
@@ -62,7 +94,7 @@ class BernoulliArrivals(ArrivalProcess):
         sources: Iterable[NodeId],
         rate: float,
         phase_length: int,
-        rng: random.Random,
+        seed: int,
     ):
         if not 0.0 <= rate <= 1.0:
             raise ConfigurationError(f"rate must be in [0,1], got {rate}")
@@ -71,41 +103,169 @@ class BernoulliArrivals(ArrivalProcess):
         self.sources = tuple(sources)
         self.rate = rate
         self.phase_length = phase_length
-        self._rng = rng
-        self._counter = 0
+        self.seed = _require_seed(seed)
 
     def arrivals_at(self, slot: int) -> List[Tuple[NodeId, Any]]:
         if slot % self.phase_length != 0:
             return []
-        out = []
+        phase = slot // self.phase_length
+        rng = child_rng(self.seed, "bernoulli-phase", phase)
+        return [
+            (source, ("bernoulli", source, phase))
+            for source in self.sources
+            if rng.random() < self.rate
+        ]
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Per-station Poisson streams: expovariate inter-arrival times.
+
+    Each station draws successive inter-arrival gaps (in slots) from its
+    own ``random.Random.expovariate`` stream, seeded with
+    ``child_rng(seed, "poisson", source)`` — statistically independent
+    stations, reproducible from the experiment seed alone.  Gaps
+    accumulate on a continuous clock and an arrival materializes in the
+    slot its arrival time falls into.
+
+    Queries must be slot-monotone (drivers step forward in time).  A
+    query may jump forward over skipped slots; arrivals that landed in
+    the gap are emitted at the queried slot, so no traffic is ever lost
+    to idle-aware slot skipping.
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[NodeId],
+        mean_interarrival_slots: float,
+        seed: int,
+        start_slot: int = 0,
+    ):
+        if not mean_interarrival_slots > 0.0:
+            raise ConfigurationError(
+                "mean inter-arrival must be > 0 slots, got "
+                f"{mean_interarrival_slots}"
+            )
+        if start_slot < 0:
+            raise ConfigurationError("start_slot must be >= 0")
+        self.sources = tuple(sources)
+        self.mean_interarrival_slots = float(mean_interarrival_slots)
+        self.seed = _require_seed(seed)
+        self.start_slot = start_slot
+        lam = 1.0 / self.mean_interarrival_slots
+        self._rngs = {
+            source: child_rng(self.seed, "poisson", source)
+            for source in self.sources
+        }
+        # Continuous next-arrival time per station (the Meshtasticator
+        # `nextGen = random.expovariate(1/period)` generator idiom).
+        self._next_time = {
+            source: start_slot + self._rngs[source].expovariate(lam)
+            for source in self.sources
+        }
+        self._count = {source: 0 for source in self.sources}
+        self._lambda = lam
+        self._last_slot = -1
+
+    @classmethod
+    def per_phase_rate(
+        cls,
+        sources: Iterable[NodeId],
+        rate: float,
+        phase_length: int,
+        seed: int,
+    ) -> "PoissonArrivals":
+        """Poisson traffic matched to a per-phase offered load.
+
+        ``rate`` messages per source per phase of ``phase_length`` slots
+        — the calibration that makes Poisson and Bernoulli workloads
+        comparable at the same λ.
+        """
+        if not rate > 0.0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        if phase_length < 1:
+            raise ConfigurationError("phase_length must be >= 1")
+        return cls(sources, phase_length / rate, seed)
+
+    def arrivals_at(self, slot: int) -> List[Tuple[NodeId, Any]]:
+        if slot < self._last_slot:
+            raise ConfigurationError(
+                f"PoissonArrivals polled backwards: slot {slot} after "
+                f"{self._last_slot} (queries must be monotone)"
+            )
+        self._last_slot = slot
+        horizon = slot + 1.0
+        out: List[Tuple[NodeId, Any]] = []
         for source in self.sources:
-            if self._rng.random() < self.rate:
-                out.append((source, ("bernoulli", source, self._counter)))
-                self._counter += 1
+            next_time = self._next_time[source]
+            while next_time < horizon:
+                out.append(
+                    (source, ("poisson", source, self._count[source]))
+                )
+                self._count[source] += 1
+                next_time += self._rngs[source].expovariate(self._lambda)
+            self._next_time[source] = next_time
         return out
 
 
 class BurstArrivals(ArrivalProcess):
-    """Every source fires simultaneously every ``period`` slots."""
+    """Every source fires every ``period`` slots, optionally jittered.
+
+    With ``jitter > 0`` each (burst, source) pair is offset into its
+    burst window by a uniform draw from ``[0, min(jitter, period-1)]``
+    slots, derived from ``(seed, burst, ...)`` — a pure function of the
+    queried slot, so jittered bursts stay stable under slot skipping.
+    """
 
     def __init__(
-        self, sources: Iterable[NodeId], period: int, bursts: int
+        self,
+        sources: Iterable[NodeId],
+        period: int,
+        bursts: int,
+        jitter: int = 0,
+        seed: Optional[int] = None,
     ):
         if period < 1:
             raise ConfigurationError("period must be >= 1")
         if bursts < 0:
             raise ConfigurationError("bursts must be >= 0")
+        if jitter < 0:
+            raise ConfigurationError("jitter must be >= 0")
+        if jitter > 0 and seed is None:
+            raise ConfigurationError(
+                "jittered bursts need a seed for their derived offsets"
+            )
         self.sources = tuple(sources)
         self.period = period
         self.bursts = bursts
+        self.jitter = min(jitter, period - 1)
+        self.seed = None if seed is None else _require_seed(seed)
+        self._offsets_burst = -1
+        self._offsets: Dict[int, List[NodeId]] = {}
+
+    def _burst_offsets(self, burst: int) -> Dict[int, List[NodeId]]:
+        """Offset → sources map for one burst (cached, pure in burst)."""
+        if burst != self._offsets_burst:
+            rng = child_rng(self.seed or 0, "burst-jitter", burst)
+            offsets: Dict[int, List[NodeId]] = {}
+            for source in self.sources:
+                offset = rng.randint(0, self.jitter) if self.jitter else 0
+                offsets.setdefault(offset, []).append(source)
+            self._offsets_burst = burst
+            self._offsets = offsets
+        return self._offsets
 
     def arrivals_at(self, slot: int) -> List[Tuple[NodeId, Any]]:
-        if slot % self.period != 0:
+        burst, within = divmod(slot, self.period)
+        if burst >= self.bursts:
             return []
-        burst_index = slot // self.period
-        if burst_index >= self.bursts:
-            return []
+        if self.jitter == 0:
+            if within != 0:
+                return []
+            return [
+                (source, ("burst", burst, source))
+                for source in self.sources
+            ]
         return [
-            (source, ("burst", burst_index, source))
-            for source in self.sources
+            (source, ("burst", burst, source))
+            for source in self._burst_offsets(burst).get(within, ())
         ]

@@ -54,5 +54,10 @@ class TestExamples:
 
     def test_streaming_telemetry(self):
         out = run_example("streaming_telemetry.py", "2")
+        assert "saturation capacity" in out
         assert "load sweep" in out
         assert "level occupancy" in out
+        # The open-system sweep crosses the knee: the low rate is read
+        # as stable by the drift test, the top rate as unstable.
+        assert "stable" in out
+        assert "UNSTABLE" in out

@@ -10,6 +10,7 @@ from repro.workloads import (
     BernoulliArrivals,
     BurstArrivals,
     DeterministicSchedule,
+    PoissonArrivals,
     run_streaming_collection,
 )
 
@@ -29,10 +30,7 @@ class TestArrivalProcesses:
 
     def test_bernoulli_rate(self):
         arrivals = BernoulliArrivals(
-            sources=range(10),
-            rate=0.3,
-            phase_length=4,
-            rng=random.Random(1),
+            sources=range(10), rate=0.3, phase_length=4, seed=1
         )
         total = 0
         phases = 600
@@ -46,7 +44,7 @@ class TestArrivalProcesses:
 
     def test_bernoulli_payloads_unique(self):
         arrivals = BernoulliArrivals(
-            sources=range(5), rate=0.8, phase_length=1, rng=random.Random(2)
+            sources=range(5), rate=0.8, phase_length=1, seed=2
         )
         payloads = [
             payload
@@ -57,9 +55,54 @@ class TestArrivalProcesses:
 
     def test_bernoulli_validation(self):
         with pytest.raises(ConfigurationError):
-            BernoulliArrivals([], 1.5, 1, random.Random(0))
+            BernoulliArrivals([], 1.5, 1, seed=0)
         with pytest.raises(ConfigurationError):
-            BernoulliArrivals([], 0.5, 0, random.Random(0))
+            BernoulliArrivals([], 0.5, 0, seed=0)
+        with pytest.raises(ConfigurationError):
+            BernoulliArrivals([], 0.5, 1, seed=random.Random(0))
+
+    def test_bernoulli_is_slot_indexed(self):
+        """The batch at a slot is a pure function of (seed, slot): an
+        idle-aware driver that skips slots sees identical arrivals."""
+        dense = BernoulliArrivals(range(6), 0.5, phase_length=3, seed=9)
+        sparse = BernoulliArrivals(range(6), 0.5, phase_length=3, seed=9)
+        polled = [dense.arrivals_at(s) for s in range(60)]
+        for slot in range(0, 60, 6):  # poll every other phase only
+            assert sparse.arrivals_at(slot) == polled[slot]
+        # And out-of-order / repeated polling changes nothing either.
+        assert dense.arrivals_at(0) == polled[0]
+
+    def test_poisson_rate_matches_calibration(self):
+        arrivals = PoissonArrivals.per_phase_rate(
+            sources=range(8), rate=0.25, phase_length=4, seed=3
+        )
+        total = sum(
+            len(arrivals.arrivals_at(slot)) for slot in range(4 * 2000)
+        )
+        # 8 sources × 2000 phases × 0.25
+        assert total == pytest.approx(4000, rel=0.1)
+
+    def test_poisson_skipped_slots_lose_nothing(self):
+        dense = PoissonArrivals(range(4), 7.5, seed=11)
+        sparse = PoissonArrivals(range(4), 7.5, seed=11)
+        everything = [
+            pair for slot in range(400) for pair in dense.arrivals_at(slot)
+        ]
+        skipped = [
+            pair
+            for slot in range(9, 400, 10)  # poll 1 slot in 10
+            for pair in sparse.arrivals_at(slot)
+        ]
+        # Same arrivals (late, but never lost), modulo in-gap ordering.
+        assert sorted(map(repr, skipped)) == sorted(
+            map(repr, everything)
+        )
+
+    def test_poisson_rejects_backwards_polls(self):
+        arrivals = PoissonArrivals(range(2), 5.0, seed=0)
+        arrivals.arrivals_at(10)
+        with pytest.raises(ConfigurationError):
+            arrivals.arrivals_at(9)
 
     def test_burst_pattern(self):
         arrivals = BurstArrivals(sources=[1, 2], period=10, bursts=2)
@@ -67,6 +110,24 @@ class TestArrivalProcesses:
         assert arrivals.arrivals_at(5) == []
         assert len(arrivals.arrivals_at(10)) == 2
         assert arrivals.arrivals_at(20) == []  # bursts exhausted
+
+    def test_burst_jitter_spreads_but_conserves(self):
+        arrivals = BurstArrivals(
+            sources=range(10), period=20, bursts=3, jitter=6, seed=4
+        )
+        per_burst = {}
+        for slot in range(60):
+            for source, payload in arrivals.arrivals_at(slot):
+                burst = payload[1]
+                assert burst * 20 <= slot <= burst * 20 + 6
+                per_burst.setdefault(burst, []).append(source)
+        assert {b: sorted(s) for b, s in per_burst.items()} == {
+            b: list(range(10)) for b in range(3)
+        }
+
+    def test_burst_jitter_requires_seed(self):
+        with pytest.raises(ConfigurationError):
+            BurstArrivals(sources=[1], period=10, bursts=1, jitter=3)
 
 
 class TestStreamingDriver:
@@ -154,7 +215,7 @@ class TestStreamingDriver:
             sources=[n for n in graph.nodes if n != 0],
             rate=0.02,  # aggregate 0.14/phase « µ
             phase_length=phase_length,
-            rng=random.Random(5),
+            seed=5,
         )
         result = run_streaming_collection(
             graph, tree, arrivals, seed=6, horizon_slots=300 * phase_length
