@@ -51,6 +51,10 @@ def check(results_dir: Path, only: list[str] | None = None) -> int:
     failures = 0
     for name in sorted(selected):
         entry = baselines[name]
+        # A per-entry tolerance overrides the global one: overhead-style
+        # gates (e.g. the scenario DSL's dispatch efficiency) need a far
+        # tighter band than the 20% jitter allowance of raw speedups.
+        entry_tolerance = float(entry.get("tolerance", tolerance))
         path = results_dir / entry["file"]
         if not path.exists():
             print(f"FAIL  {name}: missing result file {path}")
@@ -64,7 +68,7 @@ def check(results_dir: Path, only: list[str] | None = None) -> int:
             continue
         measured = float(summary[metric])
         baseline = float(entry[metric])
-        floor = tolerance * baseline
+        floor = entry_tolerance * baseline
         verdict = "ok" if measured >= floor else "FAIL"
         print(
             f"{verdict:>4}  {name}: {metric} {measured:.2f}x "

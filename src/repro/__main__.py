@@ -22,6 +22,16 @@ Commands
     oracle.  ``--sweep`` instead walks λ across the predicted critical
     rate and reports the detected stability knee.  The same cells run
     grid-style as experiments E19/E20 (``run E19``, ``run E20``).
+``scenario <FILE> [--workers N] [--cache DIR] [--kpi-out PATH] …``
+    Run a declarative scenario: a TOML/JSON spec naming a topology,
+    arrival profile, fault profile, protocol mix, engine and
+    replication grid, compiled onto the same executor/cache/
+    checkpoint/fleet machinery as the registered experiments, followed
+    by a KPI post-pass (delivery ratio, latency percentiles, air-time
+    utilization, collision rate, Jain fairness) written as
+    ``KPI_<scenario>.json``.  ``scenario validate <FILE>`` checks a
+    spec without running it; ``scenario list`` shows the spec files
+    under ``scenarios/``.
 ``run <EXP_ID> [--engine vector] [--workers N] [--cache DIR] …``
     Run a registered experiment grid through the parallel runner:
     sharded execution, content-addressed result cache, JSONL telemetry.
@@ -323,10 +333,11 @@ def _cmd_run(argv: list) -> int:
         return 0 if args.list else 2
 
     if args.exp_id not in registered_ids():
+        from repro.scenario.discovery import unknown_experiment_message
+
         print(
-            f"unknown experiment {args.exp_id!r}.\n"
-            f"runnable experiments: {', '.join(registered_ids())}\n"
-            "(use 'python -m repro run --list' for descriptions)",
+            unknown_experiment_message(args.exp_id, registered_ids())
+            + "\n(use 'python -m repro run --list' for descriptions)",
             file=sys.stderr,
         )
         return 2
@@ -375,6 +386,184 @@ def _cmd_run(argv: list) -> int:
     if args.run_dir:
         print(f"telemetry: {args.run_dir}/telemetry.jsonl")
     if args.json:
+        write_bench_summary(report, args.json)
+        print(f"summary json: {args.json}")
+    return 0
+
+
+def _cmd_scenario(argv: list) -> int:
+    import argparse
+    import dataclasses
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.scenario import (
+        compile_scenario,
+        discover_scenarios,
+        parse_scenario,
+        run_scenario,
+    )
+
+    if argv and argv[0] == "list":
+        found = discover_scenarios()
+        if not found:
+            print("no scenario files found under scenarios/")
+            return 0
+        print("scenario files:")
+        for item in found:
+            if item.ok:
+                detail = f" — {item.title}" if item.title else ""
+                print(f"  {item.name:<20} {item.path}{detail}")
+            else:
+                print(f"  INVALID              {item.path}")
+                print(f"      {item.error}")
+        return 0
+
+    validate_only = bool(argv) and argv[0] == "validate"
+    if validate_only:
+        argv = argv[1:]
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenario",
+        description=(
+            "Run a declarative scenario file: a TOML/JSON spec naming a "
+            "topology, arrival profile, fault profile, protocol mix and "
+            "replication grid, compiled into the same task grid the "
+            "registered experiments use (executor, cache, checkpoint "
+            "and fleet machinery unchanged), with a KPI post-pass.  "
+            "Subcommands: 'scenario validate <file>' checks a spec "
+            "without running it; 'scenario list' shows the spec files "
+            "under scenarios/."
+        ),
+    )
+    parser.add_argument("file", help="scenario spec file (.toml or .json)")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = inline, the default)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="result-cache directory (hits replay without executing)",
+    )
+    parser.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="telemetry directory (manifest.json + telemetry.jsonl)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="sweep-checkpoint journal (resume after interruption)",
+    )
+    parser.add_argument(
+        "--kpi-out", metavar="PATH", default=None,
+        help=(
+            "write the KPI report (KPI_<scenario>.json) to PATH — a "
+            "directory gets the canonical filename"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's [run] seed",
+    )
+    parser.add_argument(
+        "--replications", type=int, default=None,
+        help="override the spec's [run] replications",
+    )
+    parser.add_argument(
+        "--engine", choices=("scalar", "vector"), default=None,
+        help="override the spec's [engine] kind",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the BENCH-style summary JSON to FILE",
+    )
+    parser.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spec = parse_scenario(args.file)
+        overrides = {}
+        if args.seed is not None:
+            overrides["run"] = {**spec.run, "seed": args.seed}
+        if args.replications is not None:
+            run = overrides.get("run", spec.run)
+            overrides["run"] = {**run, "replications": args.replications}
+        if args.engine is not None:
+            overrides["engine"] = {**spec.engine, "kind": args.engine}
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+        compiled = compile_scenario(spec)
+    except ConfigurationError as exc:
+        print(f"invalid scenario {args.file}: {exc}", file=sys.stderr)
+        return 2
+
+    mode = (
+        f"registry twin of {compiled.exp_id}"
+        if compiled.registry_mode
+        else f"experiment id {compiled.exp_id}"
+    )
+    print(
+        f"scenario {compiled.name!r}: {len(compiled.cases)} cases x "
+        f"{spec.run['replications']} replications = "
+        f"{len(compiled.tasks)} tasks ({mode})"
+    )
+    if validate_only:
+        print("spec is valid")
+        return 0
+
+    try:
+        report = run_scenario(
+            compiled,
+            workers=args.workers,
+            cache=args.cache,
+            telemetry=args.run_dir,
+            checkpoint=args.checkpoint,
+            progress=not args.no_progress,
+        )
+    except ConfigurationError as exc:
+        print(f"cannot run scenario: {exc}", file=sys.stderr)
+        return 2
+
+    print(report.summary_table(compiled.summary_metrics or None))
+    print(
+        f"{len(report.outcomes)} tasks: {report.executed} executed, "
+        f"{report.cache_hits} from cache; engine={compiled.engine}; "
+        f"workers={report.workers}; wall {report.wall_time:.2f}s"
+    )
+    failures = report.failure_summary()
+    if any(failures[k] for k in failures):
+        print(
+            f"failures: {failures['quarantined']} quarantined, "
+            f"{failures['retries']} retries, "
+            f"{failures['timeouts']} timeouts"
+        )
+        for record in report.quarantined:
+            print(f"  quarantined {record.label} "
+                  f"[{record.category}] {record.detail}")
+
+    from repro.kpi import kpis_from_report, write_kpi_report
+
+    kpis = kpis_from_report(report, scenario=compiled.name)
+    headline = [
+        f"{key}={kpis[key]:.4g}"
+        for key in (
+            "delivery_ratio", "latency_p50_phases", "latency_p99_phases",
+            "utilization", "collision_rate", "jain_fairness",
+        )
+        if key in kpis
+    ]
+    if headline:
+        print("KPIs: " + "  ".join(headline))
+    if args.kpi_out:
+        path = write_kpi_report(kpis, args.kpi_out)
+        print(f"kpi json: {path}")
+    if args.run_dir:
+        print(f"telemetry: {args.run_dir}/telemetry.jsonl")
+    if args.json:
+        from repro.runner import write_bench_summary
+
         write_bench_summary(report, args.json)
         print(f"summary json: {args.json}")
     return 0
@@ -940,6 +1129,8 @@ def main(argv: list) -> int:
     command = argv[0]
     if command == "run":
         return _cmd_run(argv[1:])
+    if command == "scenario":
+        return _cmd_scenario(argv[1:])
     if command == "service":
         return _cmd_service(argv[1:])
     if command == "profile":

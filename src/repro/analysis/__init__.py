@@ -1,6 +1,7 @@
 """Experiment scaffolding: statistics, sweeps, table rendering."""
 
 from repro.analysis.experiments import Experiment, REGISTRY, by_id, registry_table
+from repro.analysis.sketches import P2Quantile, RateWindow, Welford
 from repro.analysis.stats import (
     Summary,
     geometric_pmf,
@@ -42,7 +43,10 @@ __all__ = [
     "CongestionProfile",
     "Experiment",
     "FaultScenario",
+    "P2Quantile",
     "REGISTRY",
+    "RateWindow",
+    "Welford",
     "ReplicatedMeasurement",
     "ResilienceReport",
     "Summary",

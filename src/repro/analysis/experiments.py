@@ -175,6 +175,14 @@ REGISTRY: List[Experiment] = [
         "bench_service.py",
         ("repro.service.sweep", "repro.queueing"),
     ),
+    Experiment(
+        "E21",
+        "declarative scenario specs dispatch within 5% of direct "
+        "registry invocation, with cache-identical registry twins",
+        "(not a paper claim)",
+        "bench_scenario.py",
+        ("repro.scenario", "repro.kpi"),
+    ),
 ]
 
 

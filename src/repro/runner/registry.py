@@ -76,11 +76,22 @@ def _bootstrap() -> None:
 
 
 def get_experiment(exp_id: str) -> ExperimentDef:
-    """Look up a runnable experiment by id."""
+    """Look up a runnable experiment by id.
+
+    Ids with a ``scenario:`` prefix resolve to the synthetic definition
+    the scenario compiler emits, so worker processes (and the fleet
+    backend) can execute scenario tasks by name exactly like registered
+    experiments — the id itself carries enough identity (the grid hash)
+    to dispatch.
+    """
     _bootstrap()
     try:
         return _REGISTRY[exp_id]
     except KeyError:
+        if exp_id.startswith("scenario:"):
+            from repro.scenario.runtime import scenario_experiment
+
+            return scenario_experiment(exp_id)
         raise ConfigurationError(
             f"no runnable experiment {exp_id!r}; known: {registered_ids()}"
         ) from None

@@ -1,0 +1,98 @@
+"""Find scenario spec files and explain unknown experiment ids.
+
+Discovery is tolerant by design: ``scenario list`` and the unknown-id
+error path must never crash on a half-written spec file, so parse
+failures surface as entries flagged with the error instead of raising.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+#: Directories probed (relative to ``root``) for scenario spec files.
+SCENARIO_DIRS = ("scenarios",)
+
+#: Spec file suffixes, in listing order.
+SCENARIO_SUFFIXES = (".toml", ".json")
+
+
+@dataclass(frozen=True)
+class DiscoveredScenario:
+    """One spec file found on disk (possibly unparsable)."""
+
+    path: Path
+    name: Optional[str]  # None when the file failed to parse
+    title: str
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def discover_scenarios(root: Optional[Path] = None) -> List[DiscoveredScenario]:
+    """Enumerate spec files under ``<root>/scenarios``, sorted by name.
+
+    Files that fail validation still appear (with ``error`` set), so a
+    typo in one scenario never hides the rest of the library.
+    """
+    from repro.scenario.spec import parse_scenario
+
+    base = Path(root) if root is not None else Path.cwd()
+    found: List[DiscoveredScenario] = []
+    for directory in SCENARIO_DIRS:
+        folder = base / directory
+        if not folder.is_dir():
+            continue
+        for path in sorted(folder.iterdir()):
+            if path.suffix not in SCENARIO_SUFFIXES or not path.is_file():
+                continue
+            try:
+                spec = parse_scenario(path)
+            except Exception as exc:  # tolerant: listing must not crash
+                found.append(
+                    DiscoveredScenario(
+                        path=path, name=None, title="", error=str(exc)
+                    )
+                )
+            else:
+                found.append(
+                    DiscoveredScenario(
+                        path=path, name=spec.name, title=spec.title
+                    )
+                )
+    return found
+
+
+def unknown_experiment_message(
+    exp_id: str,
+    known_ids: Sequence[str],
+    root: Optional[Path] = None,
+) -> str:
+    """Error text for an unknown experiment id: what *is* available.
+
+    Lists the registered experiment ids and any scenario spec files
+    discovered on disk, with a closest-match suggestion spanning both
+    namespaces — shared by ``run`` and ``scenario`` so the two commands
+    never drift apart in what they claim exists.
+    """
+    lines = [f"unknown experiment {exp_id!r}"]
+    candidates = list(known_ids)
+    if known_ids:
+        lines.append(f"registered experiments: {', '.join(known_ids)}")
+    scenarios = [s for s in discover_scenarios(root) if s.ok]
+    if scenarios:
+        lines.append("scenario files (run with 'python -m repro scenario'):")
+        for item in scenarios:
+            label = f"  {item.name}  ({item.path})"
+            if item.title:
+                label += f" — {item.title}"
+            lines.append(label)
+        candidates.extend(s.name for s in scenarios if s.name)
+    close = difflib.get_close_matches(exp_id, candidates, n=1)
+    if close:
+        lines.append(f"did you mean {close[0]!r}?")
+    return "\n".join(lines)
