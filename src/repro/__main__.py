@@ -37,7 +37,11 @@ Commands
     sharded execution, content-addressed result cache, JSONL telemetry.
     ``--engine vector`` batches every seed of a grid cell into one NumPy
     lockstep call; ``--reception dense|sparse|auto`` picks its reception
-    kernel.  ``--timeout S``, ``--retries N`` and ``--no-quarantine``
+    kernel, ``--backend numpy|numba|auto`` its array-kernel backend
+    (numba falls back to numpy when unavailable) and ``--mask
+    on|off|auto`` the active-set loop that restricts per-slot work to
+    the provably-awake stations.  ``--timeout S``, ``--retries N`` and
+    ``--no-quarantine``
     set the fault policy (watchdog budget, retry count, whether a task
     that keeps failing is recorded-and-skipped or fatal);
     ``--checkpoint FILE`` journals completed tasks so an interrupted
@@ -62,9 +66,10 @@ Commands
     Run an experiment inline under the slot-loop profiler and print a
     JSON breakdown of where the engines spend their time (per-phase
     seconds, slots stepped, processes polled vs. skipped).
-``vector-check [seed]``
+``vector-check [seed] [--backend NAME] [--mask on|off]``
     Run the vector-engine equivalence harness: exact invariants on
-    traced batch runs plus the scalar-vs-vector KS test on E2/E3 cells.
+    traced batch runs plus the scalar-vs-vector KS test on E2/E3 cells,
+    across every backend x mask combination (restrictable by flag).
 ``experiments``
     List the experiment registry (id, claim, bench file).
 ``validate``
@@ -199,7 +204,7 @@ def _cmd_run(argv: list) -> int:
         run_experiment,
         write_bench_summary,
     )
-    from repro.vector import ENGINES, RECEPTION_MODES
+    from repro.vector import BACKENDS, ENGINES, MASK_MODES, RECEPTION_MODES
 
     parser = argparse.ArgumentParser(
         prog="python -m repro run",
@@ -234,6 +239,32 @@ def _cmd_run(argv: list) -> int:
             "product), 'sparse' (CSR scatter, O(edges) memory) or "
             "'auto' (edge-density heuristic, the default); part of the "
             "cached task identity"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="auto",
+        help=(
+            "vector-engine array kernels: 'numpy' (default "
+            "formulations), 'numba' (JIT-compiled inner loops; silently "
+            "falls back to numpy when the wheel is unavailable — "
+            "results are bit-identical), 'cupy' (GPU stub, not yet "
+            "implemented) or 'auto' (numba when importable); part of "
+            "the cached task identity"
+        ),
+    )
+    parser.add_argument(
+        "--mask",
+        choices=MASK_MODES,
+        default="auto",
+        help=(
+            "vector-engine active-set mask: 'on' restricts per-slot "
+            "work (coin draws, reception scatter, backlog updates) to "
+            "the provably-awake stations, 'off' runs the full-width "
+            "loop, 'auto' enables it at n >= 1024; the modes are "
+            "distributionally (not bitwise) equivalent, so this is "
+            "part of the cached task identity"
         ),
     )
     parser.add_argument(
@@ -353,6 +384,8 @@ def _cmd_run(argv: list) -> int:
             progress=not args.no_progress,
             engine=args.engine,
             reception=args.reception,
+            backend=args.backend,
+            mask=args.mask,
             timeout=args.timeout,
             retries=args.retries,
             quarantine=not args.no_quarantine,
@@ -366,7 +399,8 @@ def _cmd_run(argv: list) -> int:
     print(
         f"{len(report.outcomes)} tasks: {report.executed} executed, "
         f"{report.cache_hits} from cache; engine={args.engine}; "
-        f"reception={args.reception}; "
+        f"reception={args.reception}; backend={args.backend}; "
+        f"mask={args.mask}; "
         f"workers={report.workers}; wall {report.wall_time:.2f}s"
     )
     failures = report.failure_summary()
@@ -473,6 +507,11 @@ def _cmd_scenario(argv: list) -> int:
         help="override the spec's [engine] kind",
     )
     parser.add_argument(
+        "--backend", choices=("numpy", "numba", "cupy", "auto"),
+        default=None,
+        help="override the spec's [engine] backend (vector engine only)",
+    )
+    parser.add_argument(
         "--json", metavar="FILE", default=None,
         help="also write the BENCH-style summary JSON to FILE",
     )
@@ -492,6 +531,9 @@ def _cmd_scenario(argv: list) -> int:
             overrides["run"] = {**run, "replications": args.replications}
         if args.engine is not None:
             overrides["engine"] = {**spec.engine, "kind": args.engine}
+        if args.backend is not None:
+            engine = overrides.get("engine", spec.engine)
+            overrides["engine"] = {**engine, "backend": args.backend}
         if overrides:
             spec = dataclasses.replace(spec, **overrides)
         compiled = compile_scenario(spec)
@@ -706,7 +748,7 @@ def _cmd_profile(argv: list) -> int:
     from repro import profiling
     from repro.errors import ConfigurationError
     from repro.runner import registered_ids, run_experiment
-    from repro.vector import ENGINES, RECEPTION_MODES
+    from repro.vector import BACKENDS, ENGINES, MASK_MODES, RECEPTION_MODES
 
     parser = argparse.ArgumentParser(
         prog="python -m repro profile",
@@ -724,6 +766,8 @@ def _cmd_profile(argv: list) -> int:
     parser.add_argument(
         "--reception", choices=RECEPTION_MODES, default="auto"
     )
+    parser.add_argument("--backend", choices=BACKENDS, default="auto")
+    parser.add_argument("--mask", choices=MASK_MODES, default="auto")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--replications", type=int, default=5)
     parser.add_argument(
@@ -753,6 +797,8 @@ def _cmd_profile(argv: list) -> int:
                 workers=0,
                 engine=args.engine,
                 reception=args.reception,
+                backend=args.backend,
+                mask=args.mask,
                 quick=args.quick,
             )
     except ConfigurationError as exc:
@@ -762,6 +808,8 @@ def _cmd_profile(argv: list) -> int:
         "exp_id": args.exp_id,
         "engine": args.engine,
         "reception": args.reception,
+        "backend": args.backend,
+        "mask": args.mask,
         "seed": args.seed,
         "replications": args.replications,
         "tasks": len(report.outcomes),
@@ -905,7 +953,7 @@ def _cmd_fleet(argv: list) -> int:
         fleet_status,
     )
     from repro.runner.policy import FaultPolicy
-    from repro.vector import ENGINES, RECEPTION_MODES
+    from repro.vector import BACKENDS, ENGINES, MASK_MODES, RECEPTION_MODES
 
     parser = argparse.ArgumentParser(
         prog="python -m repro fleet",
@@ -932,6 +980,8 @@ def _cmd_fleet(argv: list) -> int:
     p_submit.add_argument(
         "--reception", choices=RECEPTION_MODES, default="auto"
     )
+    p_submit.add_argument("--backend", choices=BACKENDS, default="auto")
+    p_submit.add_argument("--mask", choices=MASK_MODES, default="auto")
     p_submit.add_argument(
         "--quick", action="store_true", help="miniature grid"
     )
@@ -997,7 +1047,11 @@ def _cmd_fleet(argv: list) -> int:
 
         from repro import __version__
         from repro.runner import get_experiment, registered_ids
-        from repro.vector.engine import validate_reception
+        from repro.vector.engine import (
+            validate_backend,
+            validate_mask,
+            validate_reception,
+        )
 
         if args.exp_id not in registered_ids():
             print(
@@ -1007,6 +1061,8 @@ def _cmd_fleet(argv: list) -> int:
             )
             return 2
         validate_reception(args.reception)
+        validate_backend(args.backend)
+        validate_mask(args.mask)
         defn = get_experiment(args.exp_id)
         options = {"quick": True} if args.quick else {}
         try:
@@ -1019,7 +1075,11 @@ def _cmd_fleet(argv: list) -> int:
                     )
                 tasks = [
                     dataclasses.replace(
-                        spec, engine=args.engine, reception=args.reception
+                        spec,
+                        engine=args.engine,
+                        reception=args.reception,
+                        backend=args.backend,
+                        mask=args.mask,
                     )
                     for spec in tasks
                 ]
@@ -1032,6 +1092,8 @@ def _cmd_fleet(argv: list) -> int:
                     "replications": args.replications,
                     "engine": args.engine,
                     "reception": args.reception,
+                    "backend": args.backend,
+                    "mask": args.mask,
                     **options,
                 },
             )
@@ -1102,10 +1164,39 @@ def _cmd_fleet(argv: list) -> int:
         print()
 
 
-def _cmd_vector_check(seed: int) -> int:
+def _cmd_vector_check(argv: list) -> int:
+    import argparse
+
+    from repro.vector import BACKENDS
     from repro.vector.check import run_equivalence
 
-    report = run_equivalence(seed=seed)
+    parser = argparse.ArgumentParser(
+        prog="repro vector-check",
+        description="scalar-vs-vector equivalence: exact invariants on "
+        "traced batch runs plus the KS test, across the backend x mask "
+        "matrix",
+    )
+    parser.add_argument("seed", nargs="?", type=int, default=20260704)
+    parser.add_argument(
+        "--backend",
+        action="append",
+        choices=[b for b in BACKENDS if b != "auto"],
+        help="restrict the matrix to these kernel backends (repeatable; "
+        "default: every available backend)",
+    )
+    parser.add_argument(
+        "--mask",
+        action="append",
+        choices=["on", "off"],
+        help="restrict the matrix to these active-set mask modes "
+        "(repeatable; default: both)",
+    )
+    args = parser.parse_args(argv)
+    report = run_equivalence(
+        seed=args.seed,
+        backends=args.backend,
+        masks=tuple(args.mask) if args.mask else ("off", "on"),
+    )
     print(report.summary())
     return 0 if report.passed else 1
 
@@ -1151,7 +1242,7 @@ def main(argv: list) -> int:
     elif command == "resilience":
         _cmd_resilience(seed)
     elif command == "vector-check":
-        return _cmd_vector_check(seed)
+        return _cmd_vector_check(argv[1:])
     elif command == "experiments":
         from repro.analysis.experiments import registry_table
 

@@ -57,6 +57,19 @@ def np_rng(root_seed: int, *key_parts: object):
     return np.random.default_rng(derive_seed(root_seed, *key_parts))
 
 
+def np_rngs(seeds, *key_parts: object) -> list:
+    """One NumPy ``Generator`` per seed, all for the same named stream.
+
+    The batch engine's convenience plural of :func:`np_rng`: replication
+    ``b`` of a batch draws from ``np_rngs(seeds, ...)[b]``, and because
+    each stream is derived from its own task seed alone, the coins a
+    replication consumes do not depend on which other replications share
+    the batch — the property that makes sharded sub-batches bit-identical
+    to the unsharded run.
+    """
+    return [np_rng(seed, *key_parts) for seed in seeds]
+
+
 def content_key(payload: Any) -> str:
     """The sha256 hex digest of ``payload``'s canonical JSON form.
 

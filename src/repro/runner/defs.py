@@ -164,6 +164,8 @@ def collection_metrics_batch(
     classes: int,
     seeds: List[int],
     reception: str = "auto",
+    backend: str = "auto",
+    mask: str = "auto",
 ) -> List[Dict[str, Any]]:
     """All seeds of one E3 cell in NumPy lockstep batches.
 
@@ -188,6 +190,8 @@ def collection_metrics_batch(
             [seeds[position] for position in positions],
             level_classes=classes,
             reception=reception,
+            backend=backend,
+            mask=mask,
         )
         log_delta = math.log2(max(2, graph.max_degree()))
         denominator = (k + tree.depth) * log_delta
@@ -205,21 +209,26 @@ def _e3_run_batch(specs: List[TaskSpec]) -> List[Dict[str, Any]]:
     grouped: Dict[tuple, List[int]] = {}
     for index, spec in enumerate(specs):
         params = spec.params
-        # The reception kernel joins the cell key: kernels are
-        # bit-identical, but one batch call uses one kernel.
+        # The engine knobs join the cell key: reception/backend are
+        # bit-identical but one batch call uses one kernel set, and the
+        # mask changes coin-stream semantics outright.
         cell = (
             params["topology"], params["k"], params["classes"],
-            spec.reception,
+            spec.reception, spec.backend, spec.mask,
         )
         grouped.setdefault(cell, []).append(index)
     results: List[Dict[str, Any]] = [{} for _ in specs]
-    for (topology, k, classes, reception), indices in grouped.items():
+    for (topology, k, classes, reception, backend, mask), indices in (
+        grouped.items()
+    ):
         cell_results = collection_metrics_batch(
             topology,
             k,
             classes,
             [specs[i].seed for i in indices],
             reception=reception,
+            backend=backend,
+            mask=mask,
         )
         for index, metrics in zip(indices, cell_results):
             results[index] = metrics
@@ -319,6 +328,8 @@ def advance_rate_metrics_batch(
     load: int,
     seeds: List[int],
     reception: str = "auto",
+    backend: str = "auto",
+    mask: str = "auto",
 ) -> List[Dict[str, Any]]:
     """All seeds of one E2 cell as a single lockstep batch.
 
@@ -335,7 +346,10 @@ def advance_rate_metrics_batch(
     sources = {
         child: [f"m{child}-{i}" for i in range(load)] for child in child_ids
     }
-    simulation = BatchCollection(graph, tree, sources, seeds, reception=reception)
+    simulation = BatchCollection(
+        graph, tree, sources, seeds,
+        reception=reception, backend=backend, mask=mask,
+    )
     B = len(seeds)
     successes = np.zeros(B, dtype=np.int64)
     phases = np.zeros(B, dtype=np.int64)
@@ -367,17 +381,21 @@ def _e2_run_batch(specs: List[TaskSpec]) -> List[Dict[str, Any]]:
         params = spec.params
         cell = (
             params["parents"], params["children"], params["load"],
-            spec.reception,
+            spec.reception, spec.backend, spec.mask,
         )
         grouped.setdefault(cell, []).append(index)
     results: List[Dict[str, Any]] = [{} for _ in specs]
-    for (parents, children, load, reception), indices in grouped.items():
+    for (parents, children, load, reception, backend, mask), indices in (
+        grouped.items()
+    ):
         cell_results = advance_rate_metrics_batch(
             parents,
             children,
             load,
             [specs[i].seed for i in indices],
             reception=reception,
+            backend=backend,
+            mask=mask,
         )
         for index, metrics in zip(indices, cell_results):
             results[index] = metrics

@@ -757,6 +757,32 @@ def _coerce_checkpoint(
     return SweepCheckpoint(checkpoint)
 
 
+def _shard_batch_groups(
+    groups: List[List[int]], workers: int
+) -> List[List[int]]:
+    """Split vector cell groups into contiguous per-worker sub-batches.
+
+    A batched engine call is pure per replication (each task's coins come
+    from its own seed-derived stream), so a cell's task list can split at
+    any boundary and every sub-batch stays bit-identical to the unsharded
+    run.  Shards are contiguous slices sized so the whole vector workload
+    yields about ``2 × workers`` sub-batches (coarse enough to amortize
+    per-call setup — topology build, CSR arrays — fine enough that one
+    giant cell cannot serialize the pool), and never smaller than one
+    task.
+    """
+    if workers <= 0 or not groups:
+        return list(groups)
+    total = sum(len(group) for group in groups)
+    target_shards = max(workers * 2, len(groups))
+    shard_size = max(1, math.ceil(total / target_shards))
+    sharded: List[List[int]] = []
+    for group in groups:
+        for start in range(0, len(group), shard_size):
+            sharded.append(group[start:start + shard_size])
+    return sharded
+
+
 def run_tasks(
     tasks: Sequence[TaskSpec],
     run_fn: RunFn,
@@ -950,9 +976,13 @@ def run_tasks(
                 scalar_pending[start:start + chunk_size]
                 for start in range(0, len(scalar_pending), chunk_size)
             ]
-            # Each vector cell is one batched engine call — its own
-            # shard, never split below the cell.
-            execution.run_pool(chunks, batch_groups)
+            # Vector cells shard into contiguous sub-batches so one
+            # cell's replications spread across workers; per-replication
+            # coin streams keep every sub-batch bit-identical to the
+            # unsharded cell (see repro.vector.collection).
+            execution.run_pool(
+                chunks, _shard_batch_groups(batch_groups, workers)
+            )
     except KeyboardInterrupt:
         interrupted = True
         raise
@@ -1012,6 +1042,8 @@ def run_experiment(
     progress: bool = False,
     engine: str = "scalar",
     reception: str = "auto",
+    backend: str = "auto",
+    mask: str = "auto",
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
     quarantine: bool = True,
@@ -1026,7 +1058,9 @@ def run_experiment(
     and reported.  With ``engine="vector"`` every grid cell's seeds are
     evaluated in one NumPy lockstep batch (the experiment must register
     a ``run_batch`` function); ``reception`` selects that batch's
-    reception kernel (``dense``/``sparse``/``auto``) and joins the task
+    reception kernel (``dense``/``sparse``/``auto``), ``backend`` its
+    array kernels (``numpy``/``numba``/``auto``) and ``mask`` the
+    active-set loop (``on``/``off``/``auto``) — all three join the task
     identity.
 
     Failure behavior: ``timeout`` (defaulting to the experiment's
@@ -1038,10 +1072,16 @@ def run_experiment(
     import dataclasses
     import functools
 
-    from repro.vector.engine import validate_reception
+    from repro.vector.engine import (
+        validate_backend,
+        validate_mask,
+        validate_reception,
+    )
 
     validate_engine(engine)
     validate_reception(reception)
+    validate_backend(backend)
+    validate_mask(mask)
     defn = get_experiment(exp_id)
     if policy is None:
         defaults = FaultPolicy()
@@ -1061,7 +1101,13 @@ def run_experiment(
                 "implementation; run it with engine='scalar'"
             )
         tasks = [
-            dataclasses.replace(spec, engine=engine, reception=reception)
+            dataclasses.replace(
+                spec,
+                engine=engine,
+                reception=reception,
+                backend=backend,
+                mask=mask,
+            )
             for spec in tasks
         ]
     if defn.supports_vector:
@@ -1082,6 +1128,8 @@ def run_experiment(
             "replications": replications,
             "engine": engine,
             "reception": reception,
+            "backend": backend,
+            "mask": mask,
             **options,
         },
     )

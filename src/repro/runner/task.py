@@ -20,7 +20,12 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.rng import content_key, derive_seed
-from repro.vector.engine import validate_engine, validate_reception
+from repro.vector.engine import (
+    validate_backend,
+    validate_engine,
+    validate_mask,
+    validate_reception,
+)
 
 #: Parameter values a task case may carry (must survive a JSON round-trip
 #: bit-for-bit, which is what the cache key depends on).
@@ -69,6 +74,18 @@ class TaskSpec:
         cached record always states exactly how it was produced (and
         ``auto``'s resolution may change as heuristics are retuned).
         Ignored by the scalar engine.
+    ``backend``
+        Array-kernel backend of the vector engine: ``"numpy"``,
+        ``"numba"``, ``"cupy"`` or ``"auto"``.  Like ``reception``,
+        backends are bit-identical in outcome but the *requested* knob
+        joins the task identity so cached records state how they were
+        produced.  Ignored by the scalar engine.
+    ``mask``
+        Active-set mask of the vector engine: ``"on"``, ``"off"`` or
+        ``"auto"`` (on at n ≥ 1024).  The masked loop draws Decay coins
+        only for awake pairs, so the two modes are *distributionally*
+        (not coin-flip) equivalent — the knob joins the task identity
+        exactly like ``engine``.  Ignored by the scalar engine.
     """
 
     exp_id: str
@@ -77,10 +94,14 @@ class TaskSpec:
     seed: int
     engine: str = "scalar"
     reception: str = "auto"
+    backend: str = "auto"
+    mask: str = "auto"
 
     def __post_init__(self):
         validate_engine(self.engine)
         validate_reception(self.reception)
+        validate_backend(self.backend)
+        validate_mask(self.mask)
 
     @property
     def params(self) -> Dict[str, CaseValue]:
@@ -107,6 +128,8 @@ class TaskSpec:
             "seed": self.seed,
             "engine": self.engine,
             "reception": self.reception,
+            "backend": self.backend,
+            "mask": self.mask,
         }
 
     @classmethod
@@ -118,6 +141,8 @@ class TaskSpec:
             seed=int(record["seed"]),
             engine=str(record.get("engine", "scalar")),
             reception=str(record.get("reception", "auto")),
+            backend=str(record.get("backend", "auto")),
+            mask=str(record.get("mask", "auto")),
         )
 
     def key(self, version: str) -> str:

@@ -195,6 +195,8 @@ class CompiledScenario:
     tasks: List[TaskSpec]
     engine: str
     reception: str
+    backend: str
+    mask: str
     registry_mode: bool
     grid_hash: Optional[str]
     summary_metrics: Tuple[str, ...]
@@ -209,6 +211,8 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     """Lower a validated spec into its :class:`TaskSpec` grid."""
     engine = spec.engine["kind"]
     reception = spec.engine["reception"]
+    backend = spec.engine.get("backend", "auto")
+    mask = spec.engine.get("mask", "auto")
     seed = spec.run["seed"]
     replications = spec.run["replications"]
 
@@ -224,7 +228,13 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
                     "implementation; use engine.kind = 'scalar'"
                 )
             tasks = [
-                dataclasses.replace(t, engine=engine, reception=reception)
+                dataclasses.replace(
+                    t,
+                    engine=engine,
+                    reception=reception,
+                    backend=backend,
+                    mask=mask,
+                )
                 for t in tasks
             ]
         return CompiledScenario(
@@ -234,6 +244,8 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
             tasks=tasks,
             engine=engine,
             reception=reception,
+            backend=backend,
+            mask=mask,
             registry_mode=True,
             grid_hash=None,
             summary_metrics=defn.summary_metrics,
@@ -248,6 +260,20 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     grid_hash = content_key({"scenario": spec.name, "cases": cases})[:12]
     exp_id = f"scenario:{spec.name}:{grid_hash}"
     tasks = task_grid(exp_id, cases, replications, seed)
+    if engine != "scalar":
+        # The cross-field checks already vetted this grid as closed,
+        # fault-free collection — the shape the lockstep batch engine
+        # simulates; the knobs join each task's cache identity.
+        tasks = [
+            dataclasses.replace(
+                t,
+                engine=engine,
+                reception=reception,
+                backend=backend,
+                mask=mask,
+            )
+            for t in tasks
+        ]
     kinds: List[str] = []
     for case in cases:
         if case["protocol"] not in kinds:
@@ -264,6 +290,8 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
         tasks=tasks,
         engine=engine,
         reception=reception,
+        backend=backend,
+        mask=mask,
         registry_mode=False,
         grid_hash=grid_hash,
         summary_metrics=tuple(metrics[:8]),
@@ -296,10 +324,9 @@ def run_scenario(
     if policy is None:
         policy = FaultPolicy(timeout=compiled.timeout)
     batch_fn = None
-    if compiled.registry_mode:
-        defn = get_experiment(compiled.exp_id)
-        if defn.supports_vector:
-            batch_fn = functools.partial(run_registered_batch, compiled.exp_id)
+    defn = get_experiment(compiled.exp_id)
+    if defn.supports_vector:
+        batch_fn = functools.partial(run_registered_batch, compiled.exp_id)
     run_fn = functools.partial(run_registered_task, compiled.exp_id)
     return run_tasks(
         compiled.tasks,
@@ -319,5 +346,7 @@ def run_scenario(
             "replications": compiled.spec.run["replications"],
             "engine": compiled.engine,
             "reception": compiled.reception,
+            "backend": compiled.backend,
+            "mask": compiled.mask,
         },
     )

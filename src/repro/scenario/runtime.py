@@ -643,6 +643,113 @@ def run_scenario_task(spec: TaskSpec) -> Dict[str, Any]:
     )
 
 
+#: Scalar-only diagnostics the lockstep engine cannot observe (it has
+#: no per-channel stats object); the batch path reports the honest
+#: subset rather than zeros masquerading as measurements.
+_SCALAR_ONLY_METRICS = (
+    "utilization", "collision_rate", "transmissions", "collisions",
+    "dropped",
+)
+
+
+def run_scenario_batch(specs: List[TaskSpec]) -> List[Dict[str, Any]]:
+    """Execute same-case scenario tasks in one lockstep batch.
+
+    The vector-engine entry point for scenario experiments: every task
+    of a (sub-)batch shares one compiled case, so the whole group runs
+    as one :func:`~repro.vector.collection.run_collection_batch` call —
+    all replications advancing in NumPy lockstep.  Only the shape the
+    lockstep engine simulates is accepted (closed, fault-free, single-
+    epoch collection); the spec cross-field checks reject anything else
+    at validation time, so the guard here is a corruption tripwire, not
+    a user-facing error path.
+
+    Seed-dependent topology families realize a different graph per
+    seed, so tasks are bucketed by the graph they realize (exactly as
+    :func:`repro.runner.defs.collection_metrics_batch` does) and each
+    bucket runs as one batch.  Metrics mirror the scalar closed-run
+    path — same submission order, sojourns in phases from the delivery
+    slot — except the per-channel diagnostics the lockstep engine does
+    not observe, which are omitted rather than fabricated.
+    """
+    from repro.vector.collection import run_collection_batch
+
+    results: List[Dict[str, Any]] = [{} for _ in specs]
+    grouped: Dict[tuple, List[int]] = {}
+    for index, spec in enumerate(specs):
+        params = spec.params
+        if (
+            params.get("protocol") != "collection"
+            or params.get("fault", "none") != "none"
+            or params.get("arrival", "none") != "none"
+            or params.get("mobility_epochs", 1) > 1
+        ):
+            raise ConfigurationError(
+                f"task {spec.label()} is not a closed fault-free "
+                "collection case; the vector engine cannot batch it "
+                "(the spec validator should have rejected this scenario)"
+            )
+        # The engine knobs join the cell key: reception/backend are
+        # bit-identical but one batch call uses one kernel set, and the
+        # mask changes coin-stream semantics outright.
+        cell = (
+            params["topology"], params.get("sources", "tail"),
+            params.get("messages", 4), params.get("classes", 3),
+            spec.reception, spec.backend, spec.mask,
+        )
+        grouped.setdefault(cell, []).append(index)
+
+    for cell, indices in grouped.items():
+        topology, source_mode, messages, classes = cell[:4]
+        reception, backend, mask = cell[4:]
+        buckets: Dict[Graph, List[int]] = {}
+        trees: Dict[Graph, Any] = {}
+        for index in indices:
+            graph, tree = _topology(topology, specs[index].seed)
+            buckets.setdefault(graph, []).append(index)
+            trees.setdefault(graph, tree)
+        for graph, positions in buckets.items():
+            tree = trees[graph]
+            sources = _source_nodes(tree, source_mode)
+            workload = {
+                node: [f"m{node}-{i}" for i in range(messages)]
+                for node in sources
+            }
+            batch = run_collection_batch(
+                graph,
+                tree,
+                workload,
+                [specs[index].seed for index in positions],
+                level_classes=classes,
+                reception=reception,
+                backend=backend,
+                mask=mask,
+            )
+            simulation = batch.simulation
+            phase_length = simulation.phase_length
+            origins = simulation.message_origins
+            delivered = simulation.delivered_slots()
+            for b, index in enumerate(positions):
+                acc = FlowAccumulator()
+                # Same submission order as the scalar closed path, so
+                # jain_fairness iterates flows identically.
+                for node in sources:
+                    for _ in range(messages):
+                        acc.note_submitted(node)
+                for slot, gid in delivered[b]:
+                    # Closed runs have no warmup: every sojourn counts.
+                    acc.note_delivered(
+                        origins[gid], slot / phase_length, measured=True
+                    )
+                acc.slots = int(batch.completion_slots[b])
+                metrics = acc.metrics(phase_length)
+                for name in _SCALAR_ONLY_METRICS:
+                    metrics.pop(name, None)
+                metrics["epochs"] = 1
+                results[index] = metrics
+    return results
+
+
 def _no_grid(seed: int, replications: int, **options: Any):
     raise ConfigurationError(
         "scenario experiments are compiled from spec files; use "
@@ -665,6 +772,7 @@ def scenario_experiment(exp_id: str) -> ExperimentDef:
         title=f"declarative scenario {name!r}",
         make_tasks=_no_grid,
         run_task=run_scenario_task,
+        run_batch=run_scenario_batch,
         summary_metrics=(),
         default_timeout=600.0,
     )

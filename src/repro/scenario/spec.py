@@ -8,7 +8,7 @@ A spec is a TOML (or JSON) document of up to eight tables::
     [arrivals]   kind, rate, period, bursts, jitter, sources, messages
     [faults]     kind + per-model knobs
     [protocol]   kind, classes, points, mobility_epochs
-    [engine]     kind, reception, idle_scheduling
+    [engine]     kind, reception, backend, mask, idle_scheduling
     [run]        seed, replications, horizon_phases, warmup_fraction
     [kpi]        quantiles
 
@@ -117,6 +117,10 @@ ENGINE_FIELDS = {
     "reception": Field(
         (str,), default="auto", choices=("dense", "sparse", "auto")
     ),
+    "backend": Field(
+        (str,), default="auto", choices=("numpy", "numba", "cupy", "auto")
+    ),
+    "mask": Field((str,), default="auto", choices=("on", "off", "auto")),
     "idle_scheduling": Field((bool,), default=True),
 }
 RUN_FIELDS = {
@@ -263,12 +267,46 @@ def _cross_checks(spec: ScenarioSpec) -> None:
                 )
 
     if spec.engine["kind"] == "vector" and not spec.registry_mode:
-        raise ValidationError(
-            "engine.kind",
-            "the generic scenario runtime is scalar-only; engine "
-            "'vector' is available for registry-twin scenarios whose "
-            "experiment has a batch implementation (e.g. E2/E3)",
-        )
+        # The lockstep batch engine requires every replication of a cell
+        # to run the identical workload on the identical failure-free
+        # topology — that is what parity (vector/check.py) certifies.
+        # Any closed, fault-free collection scenario qualifies; the
+        # combinations below realize per-replication state the batch
+        # arrays cannot represent.
+        unsupported = [k for k in kinds if k != "collection"]
+        if unsupported:
+            raise ValidationError(
+                "engine.kind",
+                "engine 'vector' batches the collection protocol only; "
+                f"protocol kind(s) {unsupported!r} have no lockstep "
+                "implementation (use kind='collection' or "
+                "engine.kind='scalar')",
+            )
+        if injecting:
+            raise ValidationError(
+                "engine.kind",
+                "engine 'vector' assumes the failure-free model "
+                "(lockstep replications share one topology); fault "
+                f"kind(s) {fault_kinds!r} need the scalar engine's "
+                "repair layer",
+            )
+        streaming = [k for k in arrival_kinds if k != "none"]
+        if streaming:
+            raise ValidationError(
+                "engine.kind",
+                "engine 'vector' runs closed workloads only (arrivals "
+                "realize a different trajectory per replication, which "
+                f"lockstep arrays cannot represent); arrival kind(s) "
+                f"{streaming!r} need engine.kind='scalar'",
+            )
+        epochs = _as_list(protocol.get("mobility_epochs", 1))
+        if any(e > 1 for e in epochs):
+            raise ValidationError(
+                "engine.kind",
+                "engine 'vector' runs a single fixed topology; "
+                "mobility_epochs > 1 re-samples the graph between "
+                "epochs and needs engine.kind='scalar'",
+            )
 
 
 def validate_scenario(

@@ -44,6 +44,7 @@ from repro.graphs import Graph, layered_band, reference_bfs_tree
 from repro.graphs.bfs_tree import BFSTree
 from repro.graphs.graph import NodeId
 from repro.rng import derive_seed
+from repro.vector.backend import available_backends
 from repro.vector.collection import (
     BatchCollectionResult,
     DecayFactory,
@@ -74,6 +75,26 @@ class BrokenOffByOneDecay(BatchDecay):
         self.alive &= ~(candidates & (coins < 0.5))
         transmitting = candidates & (coins >= 0.5)
         self.steps[transmitting] += 1
+        return transmitting
+
+    def transmit_pairs(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        coins: np.ndarray,
+        kernel=None,
+    ) -> np.ndarray:
+        # Same flip-first bug on the active-set path, so the harness
+        # keeps its teeth in masked mode under any backend (the kernel
+        # is deliberately ignored — broken means broken).
+        candidates = self.alive[rows, cols] & (
+            self.steps[rows, cols] < self.budget
+        )
+        died = candidates & (coins < 0.5)
+        if died.any():
+            self.alive[rows[died], cols[died]] = False
+        transmitting = candidates & (coins >= 0.5)
+        self.steps[rows, cols] += transmitting
         return transmitting
 
 
@@ -261,25 +282,15 @@ class EquivalenceReport:
         return "\n".join(lines)
 
 
-def compare_cell(
-    cell: CellSpec,
-    seed: int,
-    replications: int,
-    decay_factory: DecayFactory = BatchDecay,
-    trace: bool = True,
-) -> CellReport:
-    """Run one cell on both engines and compare.
-
-    Scalar: ``replications`` independent :func:`run_collection` calls.
-    Vector: one batched call over the same derived seeds, traced so the
-    exact invariants can be checked on the very trajectories that feed
-    the KS sample.
-    """
-    seeds = [
+def _cell_seeds(cell: CellSpec, seed: int, replications: int) -> List[int]:
+    return [
         derive_seed(seed, "equivalence", cell.name, index)
         for index in range(replications)
     ]
-    scalar_slots = [
+
+
+def _scalar_slots(cell: CellSpec, seeds: Sequence[int]) -> List[int]:
+    return [
         run_collection(
             cell.graph,
             cell.tree,
@@ -289,6 +300,33 @@ def compare_cell(
         ).slots
         for s in seeds
     ]
+
+
+def compare_cell(
+    cell: CellSpec,
+    seed: int,
+    replications: int,
+    decay_factory: DecayFactory = BatchDecay,
+    trace: bool = True,
+    reception: str = "auto",
+    backend: str = "auto",
+    mask: str = "auto",
+    label: Optional[str] = None,
+    scalar_slots: Optional[List[int]] = None,
+) -> CellReport:
+    """Run one cell on both engines and compare.
+
+    Scalar: ``replications`` independent :func:`run_collection` calls
+    (``scalar_slots`` lets the matrix harness reuse one scalar sample
+    across backend×mask combinations — the scalar side does not depend
+    on any vector knob).  Vector: one batched call over the same derived
+    seeds with the given ``reception``/``backend``/``mask``, traced so
+    the exact invariants can be checked on the very trajectories that
+    feed the KS sample.
+    """
+    seeds = _cell_seeds(cell, seed, replications)
+    if scalar_slots is None:
+        scalar_slots = _scalar_slots(cell, seeds)
     batch = run_collection_batch(
         cell.graph,
         cell.tree,
@@ -297,11 +335,14 @@ def compare_cell(
         level_classes=cell.level_classes,
         decay_factory=decay_factory,
         trace=trace,
+        reception=reception,
+        backend=backend,
+        mask=mask,
     )
     vector_slots = [int(v) for v in batch.completion_slots]
     failures = check_invariants(batch) if trace else []
     return CellReport(
-        name=cell.name,
+        name=label if label is not None else cell.name,
         invariant_failures=failures,
         ks=ks_2sample(scalar_slots, vector_slots),
         scalar_slots=scalar_slots,
@@ -315,11 +356,37 @@ def run_equivalence(
     alpha: float = DEFAULT_ALPHA,
     decay_factory: DecayFactory = BatchDecay,
     cells: Optional[Sequence[CellSpec]] = None,
+    backends: Optional[Sequence[str]] = None,
+    masks: Sequence[str] = ("off", "on"),
 ) -> EquivalenceReport:
-    """The full harness: invariants + KS on the default E2/E3 cells."""
+    """The full harness: invariants + KS over the backend×mask matrix.
+
+    Every cell is compared against the scalar engine once per
+    ``backends × masks`` combination (defaults: the backends that can
+    actually run in this environment × both mask modes), so a report
+    that passes certifies each kernel backend *and* both lockstep loops
+    — the full-width and the active-set one — against the paper's
+    invariants and the scalar completion-slot distribution.  The scalar
+    sample is computed once per cell and shared across combinations.
+    """
+    if backends is None:
+        backends = available_backends()
     report = EquivalenceReport(alpha=alpha)
     for cell in cells if cells is not None else default_cells():
-        report.cells.append(
-            compare_cell(cell, seed, replications, decay_factory)
-        )
+        seeds = _cell_seeds(cell, seed, replications)
+        scalar = _scalar_slots(cell, seeds)
+        for backend in backends:
+            for mask in masks:
+                report.cells.append(
+                    compare_cell(
+                        cell,
+                        seed,
+                        replications,
+                        decay_factory,
+                        backend=backend,
+                        mask=mask,
+                        label=f"{cell.name}[{backend},mask={mask}]",
+                        scalar_slots=scalar,
+                    )
+                )
     return report

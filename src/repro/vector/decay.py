@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.vector.backend import _np_decay_pairs
 
 
 class BatchDecay:
@@ -81,3 +82,39 @@ class BatchDecay:
         self.steps[transmitting] += 1
         self.alive &= ~(transmitting & (coins < 0.5))
         return transmitting
+
+    # ------------------------------------------------------------------
+    # Active-set (pair list) interface — the masked lockstep loop
+    # ------------------------------------------------------------------
+
+    def start_pairs(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Begin fresh invocations at the listed (replication, station)
+        pairs — the compact-form twin of :meth:`start`."""
+        self.alive[rows, cols] = True
+        self.steps[rows, cols] = 0
+
+    def transmit_pairs(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        coins: np.ndarray,
+        kernel=None,
+    ) -> np.ndarray:
+        """One opportunity restricted to an active pair list.
+
+        Same semantics as :meth:`transmit` (transmit first, flip after;
+        a killed or exhausted session stays silent), but work and coin
+        consumption are O(pairs), never O(B·n): ``coins`` carries one
+        uniform draw *per pair*.  ``kernel`` optionally supplies a
+        compiled implementation from the resolved array backend; the
+        default NumPy formulation is bit-identical, and subclasses that
+        override this method (the equivalence harness's broken variants)
+        simply ignore the kernel.  Returns the per-pair transmit mask.
+        """
+        if kernel is not None:
+            return kernel(
+                self.alive, self.steps, self.budget, rows, cols, coins
+            )
+        return _np_decay_pairs(
+            self.alive, self.steps, self.budget, rows, cols, coins
+        )

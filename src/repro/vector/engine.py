@@ -63,6 +63,13 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.graphs.bfs_tree import BFSTree
 from repro.graphs.graph import Graph, NodeId
+from repro.vector.backend import (  # noqa: F401  (re-exported knob API)
+    BACKENDS,
+    KernelBackend,
+    available_backends,
+    resolve_backend,
+    validate_backend,
+)
 
 #: The engines a task may select.  ``scalar`` is the reference
 #: slot-by-slot interpreter; ``vector`` is the NumPy lockstep batch.
@@ -71,6 +78,21 @@ ENGINES: Tuple[str, ...] = ("scalar", "vector")
 #: Reception kernels of the vector engine.  ``auto`` resolves to dense
 #: or sparse per topology via the density heuristic below.
 RECEPTION_MODES: Tuple[str, ...] = ("dense", "sparse", "auto")
+
+#: Active-set mask modes of the lockstep loop.  ``on`` restricts the
+#: per-slot work (coin draws, reception scatter, backlog updates) to the
+#: provably-awake (replication, station) pairs; ``off`` is the original
+#: full-width loop; ``auto`` resolves by size (mask on at large n, where
+#: the awake fraction is what makes n = 10⁵ reachable).  The two modes
+#: are *distributionally* — not coin-flip — equivalent: the masked loop
+#: draws coins only for awake pairs, so the knob joins task identity
+#: exactly like ``engine=``.
+MASK_MODES: Tuple[str, ...] = ("on", "off", "auto")
+
+#: ``mask="auto"`` switches the active-set loop on at this size — the
+#: same threshold at which reception goes sparse; below it the dense
+#: full-width ops are already cheap and keep trajectories stable.
+MASK_MIN_NODES = 1024
 
 #: ``auto`` heuristic: the dense BLAS product wins on small, dense cells
 #: (its per-element cost is tiny and the O(n²) term is bounded); the CSR
@@ -98,6 +120,15 @@ def validate_reception(reception: str) -> str:
     return reception
 
 
+def validate_mask(mask: str) -> str:
+    if mask not in MASK_MODES:
+        raise ConfigurationError(
+            f"unknown active-set mask mode {mask!r}; expected one of "
+            f"{MASK_MODES}"
+        )
+    return mask
+
+
 class LockstepRadio:
     """Topology-side state for B lockstep replications on one graph.
 
@@ -120,12 +151,17 @@ class LockstepRadio:
         tree: BFSTree,
         replications: int,
         reception: str = "auto",
+        backend: str = "auto",
     ):
         if replications < 1:
             raise ConfigurationError(
                 f"need at least one replication, got {replications}"
             )
         validate_reception(reception)
+        # Resolved once per radio: the kernels behind the CSR scatter and
+        # (via BatchDecay) the masked Decay step.  Bit-identical across
+        # backends; the requested knob still joins task identity.
+        self.backend: KernelBackend = resolve_backend(backend)
         self.graph = graph
         self.tree = tree
         self.num_replications = replications
@@ -237,29 +273,17 @@ class LockstepRadio:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         B, n = tx.shape
         b_idx, u_idx = np.nonzero(tx)
-        counts = np.zeros((B, n), dtype=np.float32)
-        senders = np.zeros((B, n), dtype=np.float32)
         if b_idx.size:
             # Gather every transmitter's neighbor run from the CSR
-            # arrays: run r spans indices[starts[r] : starts[r]+len[r]].
-            starts = self.indptr[u_idx]
-            lengths = self.indptr[u_idx + 1] - starts
-            total = int(lengths.sum())
-            if total:
-                ends = np.cumsum(lengths)
-                within = np.arange(total, dtype=np.int64) - np.repeat(
-                    ends - lengths, lengths
-                )
-                receivers = self.indices[np.repeat(starts, lengths) + within]
-                flat = np.repeat(b_idx, lengths) * n + receivers
-                hit = np.bincount(flat, minlength=B * n)
-                sender_sum = np.bincount(
-                    flat,
-                    weights=np.repeat(u_idx, lengths).astype(np.float64),
-                    minlength=B * n,
-                )
-                counts = hit.reshape(B, n).astype(np.float32)
-                senders = sender_sum.reshape(B, n).astype(np.float32)
+            # arrays and scatter hit counts / sender-index sums — the
+            # kernel (bincount formulation or a compiled loop) comes
+            # from the resolved array backend.
+            counts, senders = self.backend.csr_counts(
+                b_idx, u_idx, self.indptr, self.indices, B, n
+            )
+        else:
+            counts = np.zeros((B, n), dtype=np.float32)
+            senders = np.zeros((B, n), dtype=np.float32)
         unique = (counts == 1.0) & ~tx
         return counts, senders, unique
 

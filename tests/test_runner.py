@@ -643,3 +643,124 @@ class TestReceptionSelection:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "reception=sparse" in out
+
+
+class TestBackendAndMaskSelection:
+    """--backend/--mask join cached task identity like reception."""
+
+    def test_backend_and_mask_join_the_cache_key(self):
+        import dataclasses
+
+        base = dataclasses.replace(
+            TaskSpec("E3", (("k", 4),), 0, 123), engine="vector"
+        )
+        variants = {
+            base.key("1.7.0"),
+            dataclasses.replace(base, backend="numpy").key("1.7.0"),
+            dataclasses.replace(base, backend="numba").key("1.7.0"),
+            dataclasses.replace(base, mask="on").key("1.7.0"),
+            dataclasses.replace(base, mask="off").key("1.7.0"),
+        }
+        assert len(variants) == 5
+
+    def test_round_trips_and_legacy_defaults(self):
+        import dataclasses
+
+        spec = dataclasses.replace(
+            TaskSpec("E2", (("load", 2),), 1, 77),
+            engine="vector", backend="numpy", mask="on",
+        )
+        assert TaskSpec.from_record(spec.to_record()) == spec
+        legacy = spec.to_record()
+        del legacy["backend"]
+        del legacy["mask"]
+        restored = TaskSpec.from_record(legacy)
+        assert restored.backend == "auto"
+        assert restored.mask == "auto"
+
+    def test_rejects_unknown_backend_and_mask(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec("E3", (), 0, 1, backend="fortran")
+        with pytest.raises(ConfigurationError):
+            TaskSpec("E3", (), 0, 1, mask="maybe")
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                "E3", seed=1, replications=1, quick=True,
+                engine="vector", backend="fortran",
+            )
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                "E3", seed=1, replications=1, quick=True,
+                engine="vector", mask="maybe",
+            )
+
+    def test_masked_run_matches_unmasked_on_deterministic_cells(self):
+        # Quick E3 cells drain in a coin-independent number of slots,
+        # so even the masked loop's different coin accounting cannot
+        # move the answer.
+        runs = {
+            mode: run_experiment(
+                "E3", seed=5, replications=2, quick=True,
+                engine="vector", mask=mode,
+            )
+            for mode in ("off", "on")
+        }
+        assert runs["off"].case_means("slots") == runs["on"].case_means("slots")
+        assert all(o.spec.mask == "on" for o in runs["on"].outcomes)
+
+    def test_run_cli_backend_and_mask_flags(self, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "run", "E3", "--quick", "--engine", "vector",
+            "--backend", "numpy", "--mask", "on",
+            "--replications", "2", "--no-progress",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "backend=numpy" in out
+        assert "mask=on" in out
+
+
+class TestBatchSharding:
+    """Vector cell groups split into per-worker sub-batches."""
+
+    def test_shards_are_contiguous_and_cover_everything(self):
+        from repro.runner.executor import _shard_batch_groups
+
+        groups = [[0, 1, 2, 3, 4, 5, 6, 7], [8, 9, 10]]
+        sharded = _shard_batch_groups(groups, workers=2)
+        assert [i for shard in sharded for i in shard] == list(range(11))
+        assert len(sharded) >= len(groups)
+        # No shard ever mixes two cells' tasks.
+        for shard in sharded:
+            assert any(
+                set(shard) <= set(group) for group in groups
+            ), shard
+
+    def test_workers_zero_is_a_passthrough(self):
+        from repro.runner.executor import _shard_batch_groups
+
+        groups = [[3, 1, 2], [9]]
+        assert _shard_batch_groups(groups, workers=0) == groups
+        assert _shard_batch_groups([], workers=4) == []
+
+    def test_small_groups_never_produce_empty_shards(self):
+        from repro.runner.executor import _shard_batch_groups
+
+        sharded = _shard_batch_groups([[0], [1], [2]], workers=8)
+        assert sharded == [[0], [1], [2]]
+
+    def test_sharded_masked_vector_run_bit_identical(self):
+        # The load-bearing guarantee behind sub-batch splitting: coin
+        # streams are per-replication, so any partition of a cell's
+        # seeds replays the identical trajectory.
+        inline = run_experiment(
+            "E3", seed=9, replications=4, quick=True,
+            engine="vector", mask="on",
+        )
+        sharded = run_experiment(
+            "E3", seed=9, replications=4, quick=True,
+            engine="vector", mask="on", workers=2,
+        )
+        assert inline.summary_table() == sharded.summary_table()

@@ -359,3 +359,249 @@ class TestSparseReception:
         adjacency = radio.adjacency  # trace/invariant path still works
         assert adjacency[radio.index[0], radio.index[1]]
         assert np.array_equal(adjacency, adjacency.T)
+
+
+class TestBackends:
+    """The pluggable kernel layer: selection, fallback, identity."""
+
+    def test_validate_backend(self):
+        from repro.vector import BACKENDS, validate_backend
+
+        assert BACKENDS == ("numpy", "numba", "cupy", "auto")
+        for name in BACKENDS:
+            assert validate_backend(name) == name
+        with pytest.raises(ConfigurationError):
+            validate_backend("fortran")
+
+    def test_available_backends_always_has_numpy(self):
+        from repro.vector import available_backends
+
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert "cupy" not in names  # stub only: never auto-selected
+
+    def test_cupy_backend_is_an_explicit_stub(self):
+        from repro.vector import resolve_backend
+
+        with pytest.raises(ConfigurationError) as err:
+            resolve_backend("cupy")
+        assert "cupy" in str(err.value)
+
+    def test_numba_request_falls_back_silently(self):
+        # Without numba installed the request resolves to the numpy
+        # kernels (bit-identical, so the fallback is safe); with numba
+        # installed it resolves to the JIT set.  Either way the
+        # *requested* name is preserved for cache identity.
+        from repro.vector import numba_available, resolve_backend
+
+        backend = resolve_backend("numba")
+        assert backend.requested == "numba"
+        expected = "numba" if numba_available() else "numpy"
+        assert backend.name == expected
+
+    def test_radio_resolve_identical_across_backends(self):
+        from repro.vector import available_backends
+
+        cell = e3_cell()
+        rng = np.random.default_rng(5)
+        radios = {
+            name: LockstepRadio(
+                cell.graph, cell.tree, 6, reception="sparse", backend=name
+            )
+            for name in available_backends()
+        }
+        for density in (0.0, 0.1, 0.5):
+            tx = rng.random((6, radios["numpy"].n)) < density
+            reference = radios["numpy"].resolve(tx)
+            for name, radio in radios.items():
+                counts, senders, unique = radio.resolve(tx)
+                assert np.array_equal(counts, reference[0]), name
+                assert np.array_equal(senders, reference[1]), name
+                assert np.array_equal(unique, reference[2]), name
+
+
+class TestSparseEdgeCases:
+    """Degenerate slot shapes every kernel pair must agree on exactly."""
+
+    def _resolve_all(self, graph, tx):
+        from repro.vector import available_backends
+
+        tree = reference_bfs_tree(graph, 0)
+        B = tx.shape[0]
+        outputs = {
+            "dense": LockstepRadio(
+                graph, tree, B, reception="dense"
+            ).resolve(tx)
+        }
+        for name in available_backends():
+            outputs[f"sparse/{name}"] = LockstepRadio(
+                graph, tree, B, reception="sparse", backend=name
+            ).resolve(tx)
+        reference = outputs["dense"]
+        for label, (counts, senders, unique) in outputs.items():
+            assert np.array_equal(counts, reference[0]), label
+            assert np.array_equal(senders, reference[1]), label
+            assert np.array_equal(unique, reference[2]), label
+        return reference
+
+    def test_zero_transmitter_slot(self):
+        graph = grid(4, 4)
+        tx = np.zeros((3, 16), dtype=bool)
+        counts, _senders, unique = self._resolve_all(graph, tx)
+        assert not counts.any()
+        assert not unique.any()
+
+    def test_isolated_stations_hear_nothing(self):
+        # Leaves of a star are mutually isolated: when only leaves
+        # transmit, the silent hub hears a collision and every leaf
+        # hears nothing at all.
+        graph = star(9)
+        tree = reference_bfs_tree(graph, 0)
+        radio = LockstepRadio(graph, tree, 1, reception="sparse")
+        tx = np.ones((1, 9), dtype=bool)
+        tx[0, radio.index[0]] = False  # hub (root) stays silent
+        counts, _senders, unique = self._resolve_all(graph, tx)
+        hub = radio.index[0]
+        assert counts[0, hub] == 8
+        assert not unique[0, hub]
+        leaves = [i for i in range(9) if i != hub]
+        assert not counts[0, leaves].any()
+
+    def test_max_degree_hub_broadcast(self):
+        # The hub alone transmits: all 63 leaves hear it uniquely — the
+        # widest single-sender scatter a star can produce.
+        graph = star(64)
+        tree = reference_bfs_tree(graph, 0)
+        radio = LockstepRadio(graph, tree, 2, reception="sparse")
+        tx = np.zeros((2, 64), dtype=bool)
+        tx[:, radio.index[0]] = True
+        counts, senders, unique = self._resolve_all(graph, tx)
+        hub = radio.index[0]
+        leaves = [i for i in range(64) if i != hub]
+        assert unique[:, leaves].all()
+        assert (senders[:, leaves] == hub).all()
+        assert counts[:, hub].sum() == 0  # nobody talks back
+
+    def test_edge_case_trajectories_span_backends(self):
+        # Whole protocol runs on a star (max-degree hub) and a path
+        # (every station near-isolated): dense vs sparse x backends,
+        # bit-identical completion and delivery.
+        from repro.vector import available_backends
+
+        for graph in (star(12), path(12)):
+            tree = reference_bfs_tree(graph, 0)
+            deepest = max(tree.nodes, key=lambda v: (tree.level[v], v))
+            sources = {deepest: ["a", "b", "c"]}
+            seeds = [7, 8, 9]
+            runs = {}
+            runs["dense"] = run_collection_batch(
+                graph, tree, sources, seeds, reception="dense"
+            )
+            for name in available_backends():
+                runs[f"sparse/{name}"] = run_collection_batch(
+                    graph, tree, sources, seeds,
+                    reception="sparse", backend=name,
+                )
+            reference = runs["dense"]
+            for label, batch in runs.items():
+                assert np.array_equal(
+                    batch.completion_slots, reference.completion_slots
+                ), label
+                assert (
+                    batch.simulation.delivered_ids()
+                    == reference.simulation.delivered_ids()
+                ), label
+
+
+class TestActiveSetMask:
+    """The idle-aware lockstep loop: awake pairs only, same physics."""
+
+    def test_validate_mask(self):
+        from repro.vector import MASK_MODES, validate_mask
+
+        assert MASK_MODES == ("on", "off", "auto")
+        for mode in MASK_MODES:
+            assert validate_mask(mode) == mode
+        with pytest.raises(ConfigurationError):
+            validate_mask("maybe")
+
+    def test_auto_threshold(self):
+        from repro.vector.collection import MASK_MIN_NODES, BatchCollection
+
+        cell = e3_cell()
+        assert MASK_MIN_NODES == 1024
+        small = BatchCollection(
+            cell.graph, cell.tree, cell.sources, [1, 2], mask="auto"
+        )
+        assert not small.masked  # e3 band is far below the threshold
+        forced = BatchCollection(
+            cell.graph, cell.tree, cell.sources, [1, 2], mask="on"
+        )
+        assert forced.masked
+
+    @pytest.mark.parametrize("cell", [e3_cell(), e2_cell()], ids=lambda c: c.name)
+    def test_masked_run_keeps_exact_invariants(self, cell):
+        seeds = [31, 32, 33, 34]
+        batch = run_collection_batch(
+            cell.graph, cell.tree, cell.sources, seeds,
+            mask="on", trace=True,
+        )
+        assert check_invariants(batch) == []
+        assert (batch.completion_slots >= 0).all()
+        expected = list(range(batch.simulation.total_messages))
+        for b in range(len(seeds)):
+            assert sorted(batch.simulation.delivered_ids()[b]) == expected
+
+    def test_masked_backends_bit_identical(self):
+        from repro.vector import available_backends
+
+        cell = e3_cell()
+        seeds = [41, 42, 43]
+        runs = [
+            run_collection_batch(
+                cell.graph, cell.tree, cell.sources, seeds,
+                mask="on", backend=name,
+            )
+            for name in available_backends()
+        ]
+        for other in runs[1:]:
+            assert np.array_equal(
+                runs[0].completion_slots, other.completion_slots
+            )
+
+    def test_masked_purity_under_batch_composition(self):
+        # The sharding contract: each replication's coin stream is a
+        # pure function of its own seed, so any partition of the seed
+        # list produces bit-identical trajectories.
+        cell = e3_cell()
+        seeds = [51, 52, 53, 54]
+        whole = run_collection_batch(
+            cell.graph, cell.tree, cell.sources, seeds, mask="on"
+        )
+        parts = [
+            run_collection_batch(
+                cell.graph, cell.tree, cell.sources, chunk, mask="on"
+            )
+            for chunk in (seeds[:1], seeds[1:3], seeds[3:])
+        ]
+        stitched = np.concatenate([p.completion_slots for p in parts])
+        assert np.array_equal(whole.completion_slots, stitched)
+
+    def test_occupancy_reported(self):
+        cell = e3_cell()
+        sim = run_collection_batch(
+            cell.graph, cell.tree, cell.sources, [61, 62], mask="on"
+        ).simulation
+        assert 0.0 < sim.awake_occupancy <= 1.0
+        assert sim.mask_stats["data_slots"] > 0
+
+    def test_broken_decay_caught_under_mask(self):
+        # The negative control must still have teeth in masked mode.
+        report = run_equivalence(
+            replications=24,
+            decay_factory=BrokenOffByOneDecay,
+            cells=[e3_cell()],
+            backends=["numpy"],
+            masks=("on",),
+        )
+        assert not report.passed
