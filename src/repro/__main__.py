@@ -47,14 +47,18 @@ Commands
     ``--checkpoint FILE`` journals completed tasks so an interrupted
     sweep resumes where it stopped.  ``run --list`` shows the runnable
     experiments; ``run <EXP_ID> --help`` shows all options.
-``chaos [--quick] [--fleet] [--workers N] [--json FILE] …``
+``chaos [--quick] [--fleet] [--coord] [--json FILE] …``
     Run the fault-injection harness: the E3 quick grid with worker
     crashes, a hanging task, a transient failure and corrupt cache
     entries injected, verified to converge bit-for-bit to a clean
     control run.  With ``--fleet``, run the multi-host scenario
     instead: worker subprocesses drain a shared queue directory while
     one whole host is SIGKILLed, one lease is corrupted and one clock
-    is skewed.  Exits non-zero if any verdict fails.
+    is skewed.  With ``--coord``, run the TCP coordinator scenario:
+    workers reach the coordinator only through fault proxies that
+    drop/duplicate/delay/truncate wire frames, one worker is
+    partitioned, and the coordinator is SIGKILLed mid-lease and
+    restarted from its journal.  Exits non-zero if any verdict fails.
 ``fleet submit|worker|status …``
     The multi-host execution backend.  ``submit`` populates a shared
     queue directory with an experiment grid; ``worker`` (run on any
@@ -62,6 +66,15 @@ Commands
     atomic leases until the queue drains; ``status`` merges every
     host's journal into one live progress / failure-taxonomy report.
     ``fleet <sub> --help`` shows each subcommand's options.
+``coord serve|submit|worker|status …``
+    The TCP coordinator backend — the fleet without a shared
+    filesystem.  ``serve`` runs the coordinator (crash-recoverable via
+    its append-only journal); ``submit`` sends an experiment grid to
+    it; ``worker`` (run anywhere with a TCP route to the coordinator)
+    claims and executes tasks over the wire, spooling outcomes to a
+    local outbox when the coordinator is unreachable; ``status`` asks
+    the live coordinator, falling back to an offline journal replay.
+    ``coord <sub> --help`` shows each subcommand's options.
 ``profile <EXP_ID> [--engine vector] [--json FILE] …``
     Run an experiment inline under the slot-loop profiler and print a
     JSON breakdown of where the engines spend their time (per-phase
@@ -830,7 +843,7 @@ def _cmd_chaos(argv: list) -> int:
     import json
 
     from repro.errors import ConfigurationError
-    from repro.runner.chaos import run_chaos, run_fleet_chaos
+    from repro.runner.chaos import run_chaos, run_coord_chaos, run_fleet_chaos
 
     parser = argparse.ArgumentParser(
         prog="python -m repro chaos",
@@ -842,7 +855,10 @@ def _cmd_chaos(argv: list) -> int:
             "--fleet swaps in the multi-host scenario: worker "
             "subprocesses drain a shared queue directory while one "
             "whole host is SIGKILLed mid-sweep, one in-flight lease is "
-            "corrupted and one host's clock is skewed."
+            "corrupted and one host's clock is skewed.  --coord swaps "
+            "in the TCP coordinator scenario: frame-level network "
+            "faults, a partitioned worker, and a coordinator SIGKILL "
+            "mid-lease with journal recovery."
         ),
     )
     parser.add_argument(
@@ -856,6 +872,15 @@ def _cmd_chaos(argv: list) -> int:
         help=(
             "run the multi-host fleet scenario (host kill, lease "
             "corruption, clock skew) instead of the process-pool one"
+        ),
+    )
+    parser.add_argument(
+        "--coord",
+        action="store_true",
+        help=(
+            "run the TCP coordinator scenario (frame faults, worker "
+            "partition, coordinator SIGKILL + journal restart) instead "
+            "of the process-pool one"
         ),
     )
     parser.add_argument("--seed", type=int, default=7)
@@ -902,8 +927,21 @@ def _cmd_chaos(argv: list) -> int:
         help="suppress the live progress lines",
     )
     args = parser.parse_args(argv)
+    if args.fleet and args.coord:
+        print("--fleet and --coord are mutually exclusive", file=sys.stderr)
+        return 2
     try:
-        if args.fleet:
+        if args.coord:
+            report = run_coord_chaos(
+                seed=args.seed,
+                workers=args.workers if args.workers is not None else 3,
+                replications=args.replications,
+                quick=args.quick,
+                base_dir=args.dir,
+                keep=args.dir is not None,
+                progress=not args.no_progress,
+            )
+        elif args.fleet:
             report = run_fleet_chaos(
                 seed=args.seed,
                 workers=args.workers if args.workers is not None else 3,
@@ -1164,6 +1202,342 @@ def _cmd_fleet(argv: list) -> int:
         print()
 
 
+def _cmd_coord(argv: list) -> int:
+    import argparse
+    import json
+    import time as _time
+
+    from repro.errors import ConfigurationError
+    from repro.runner.client import (
+        CoordClient,
+        CoordinatorUnreachable,
+        CoordWorker,
+        parse_address,
+    )
+    from repro.runner.coord import (
+        CoordServer,
+        coord_status,
+        format_coord_status,
+        submit_tasks,
+    )
+    from repro.runner.policy import FaultPolicy
+    from repro.vector import BACKENDS, ENGINES, MASK_MODES, RECEPTION_MODES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro coord",
+        description=(
+            "TCP coordinator backend: one coordinator process holds the "
+            "queue (crash-recoverable via an append-only journal), any "
+            "number of workers reach it over length-prefixed JSON "
+            "frames — no shared filesystem needed."
+        ),
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the coordinator (recovers from its journal)"
+    )
+    p_serve.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="coordinator state directory (journal, results, coord.json)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; 0.0.0.0 for remote workers)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default: 0 = ephemeral, advertised in coord.json)",
+    )
+    p_serve.add_argument(
+        "--ttl", type=float, default=30.0,
+        help="lease expiry: a lease unheard-of this long is re-queued",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=None,
+        help="retry budget per task, shared with lease steals (default 2)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="send an experiment grid to the coordinator"
+    )
+    p_submit.add_argument("exp_id", help="experiment id (see run --list)")
+    p_submit.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="coordinator state dir (reads coord.json for the address)",
+    )
+    p_submit.add_argument(
+        "--addr", default=None, metavar="HOST:PORT",
+        help="explicit coordinator address (no state dir needed)",
+    )
+    p_submit.add_argument("--seed", type=int, default=7)
+    p_submit.add_argument("--replications", type=int, default=5)
+    p_submit.add_argument("--engine", choices=ENGINES, default="scalar")
+    p_submit.add_argument(
+        "--reception", choices=RECEPTION_MODES, default="auto"
+    )
+    p_submit.add_argument("--backend", choices=BACKENDS, default="auto")
+    p_submit.add_argument("--mask", choices=MASK_MODES, default="auto")
+    p_submit.add_argument(
+        "--quick", action="store_true", help="miniature grid"
+    )
+
+    p_worker = sub.add_parser(
+        "worker", help="claim and execute tasks over the wire"
+    )
+    p_worker.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="coordinator state dir (reads coord.json for the address)",
+    )
+    p_worker.add_argument(
+        "--addr", default=None, metavar="HOST:PORT",
+        help="explicit coordinator address (no state dir needed)",
+    )
+    p_worker.add_argument(
+        "--outbox", default=None, metavar="DIR",
+        help=(
+            "local spool for outcomes computed while the coordinator "
+            "is unreachable (default: <dir>/outbox; required with "
+            "--addr alone)"
+        ),
+    )
+    p_worker.add_argument(
+        "--host", default=None,
+        help="worker identity (default: <hostname>-<pid>-<nonce>)",
+    )
+    p_worker.add_argument(
+        "--heartbeat", type=float, default=2.0, metavar="SECONDS",
+        help="lease heartbeat interval (default: 2.0)",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="re-claim interval when every pending task is leased",
+    )
+    p_worker.add_argument(
+        "--throttle", type=float, default=0.0, metavar="SECONDS",
+        help="sleep before each fresh execution (chaos/testing)",
+    )
+    p_worker.add_argument(
+        "--retries", type=int, default=None,
+        help="retry budget per task (default 2)",
+    )
+    p_worker.add_argument(
+        "--request-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-request timeout before a reconnect-and-resend",
+    )
+    p_worker.add_argument(
+        "--offline-budget", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "how long to keep retrying an unreachable coordinator "
+            "before spooling to the outbox and exiting cleanly"
+        ),
+    )
+    p_worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="stop after this many tasks instead of draining the queue",
+    )
+    p_worker.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-task progress lines",
+    )
+
+    p_status = sub.add_parser(
+        "status", help="coordinator status (live TCP, else journal replay)"
+    )
+    p_status.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="coordinator state directory",
+    )
+    p_status.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the status JSON to FILE",
+    )
+    p_status.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render every SECONDS until the queue drains",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.subcommand == "serve":
+        policy = (
+            FaultPolicy(max_retries=args.retries)
+            if args.retries is not None
+            else None
+        )
+        try:
+            server = CoordServer(
+                args.dir,
+                host=args.host,
+                port=args.port,
+                ttl=args.ttl,
+                policy=policy,
+            )
+            host, port = server.start()
+        except (ConfigurationError, OSError) as exc:
+            print(f"cannot start coordinator: {exc}", file=sys.stderr)
+            return 2
+        recovered = (
+            f", {server.recovered_leases} leases restored"
+            if server.recovered_leases
+            else ""
+        )
+        print(
+            f"coordinator on {host}:{port} — "
+            f"{len(server.state.tasks)} tasks, "
+            f"{len(server.state.done)} done{recovered} "
+            f"(journal: {server.journal_path})",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+
+    if args.subcommand in ("submit", "worker"):
+        if args.dir is None and args.addr is None:
+            print(
+                f"coord {args.subcommand} needs --dir or --addr",
+                file=sys.stderr,
+            )
+            return 2
+        address = parse_address(args.addr) if args.addr else None
+
+    if args.subcommand == "submit":
+        import dataclasses
+
+        from repro import __version__
+        from repro.runner import get_experiment, registered_ids
+        from repro.vector.engine import (
+            validate_backend,
+            validate_mask,
+            validate_reception,
+        )
+
+        if args.exp_id not in registered_ids():
+            print(
+                f"unknown experiment {args.exp_id!r}; runnable: "
+                f"{', '.join(registered_ids())}",
+                file=sys.stderr,
+            )
+            return 2
+        validate_reception(args.reception)
+        validate_backend(args.backend)
+        validate_mask(args.mask)
+        defn = get_experiment(args.exp_id)
+        options = {"quick": True} if args.quick else {}
+        client = None
+        try:
+            tasks = defn.tasks(args.seed, args.replications, **options)
+            if args.engine != "scalar":
+                if not defn.supports_vector:
+                    raise ConfigurationError(
+                        f"experiment {args.exp_id!r} has no vector-engine "
+                        "implementation"
+                    )
+                tasks = [
+                    dataclasses.replace(
+                        spec,
+                        engine=args.engine,
+                        reception=args.reception,
+                        backend=args.backend,
+                        mask=args.mask,
+                    )
+                    for spec in tasks
+                ]
+            client = CoordClient(args.dir, address=address)
+            fresh = submit_tasks(
+                client,
+                tasks,
+                version=__version__,
+                options={
+                    "seed": args.seed,
+                    "replications": args.replications,
+                    "engine": args.engine,
+                    "reception": args.reception,
+                    "backend": args.backend,
+                    "mask": args.mask,
+                    **options,
+                },
+            )
+        except ConfigurationError as exc:
+            print(f"cannot submit {args.exp_id!r}: {exc}", file=sys.stderr)
+            return 2
+        except CoordinatorUnreachable as exc:
+            print(f"coordinator unreachable: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if client is not None:
+                client.close()
+        print(f"submitted {args.exp_id}: {len(tasks)} tasks ({fresh} new)")
+        print(
+            "start workers with: python -m repro coord worker "
+            + (f"--dir {args.dir}" if args.dir else f"--addr {args.addr}")
+        )
+        return 0
+
+    if args.subcommand == "worker":
+        policy = (
+            FaultPolicy(max_retries=args.retries)
+            if args.retries is not None
+            else None
+        )
+        try:
+            worker = CoordWorker(
+                args.dir,
+                host=args.host,
+                address=address,
+                policy=policy,
+                heartbeat_interval=args.heartbeat,
+                poll_interval=args.poll,
+                throttle=args.throttle,
+                request_timeout=args.request_timeout,
+                offline_budget=args.offline_budget,
+                outbox_dir=args.outbox,
+                max_tasks=args.max_tasks,
+                progress=not args.no_progress,
+            )
+            stats = worker.run()
+        except ConfigurationError as exc:
+            print(f"cannot start worker: {exc}", file=sys.stderr)
+            return 2
+        stranded = (
+            f", {stats.stranded} stranded in the outbox"
+            if stats.stranded
+            else ""
+        )
+        print(
+            f"[{stats.host}] done: {stats.executed} executed, "
+            f"{stats.cache_hits} cache hits, {stats.retries} retries, "
+            f"{stats.quarantined} quarantined{stranded} in "
+            f"{stats.wall_time:.1f}s"
+        )
+        return 1 if stats.stranded else 0
+
+    # status
+    while True:
+        payload = coord_status(args.dir)
+        print(format_coord_status(payload))
+        if args.json:
+            import os as _os
+
+            parent = _os.path.dirname(args.json)
+            if parent:
+                _os.makedirs(parent, exist_ok=True)
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        total = int(payload.get("total", 0))
+        drained = total > 0 and int(payload.get("pending", 0)) == 0
+        if args.watch is None or drained:
+            return 0
+        _time.sleep(args.watch)
+        print()
+
+
 def _cmd_vector_check(argv: list) -> int:
     import argparse
 
@@ -1230,6 +1604,8 @@ def main(argv: list) -> int:
         return _cmd_chaos(argv[1:])
     if command == "fleet":
         return _cmd_fleet(argv[1:])
+    if command == "coord":
+        return _cmd_coord(argv[1:])
     seed = int(argv[1]) if len(argv) > 1 else 7
     if command == "demo":
         _cmd_demo(seed)

@@ -29,9 +29,20 @@ the shared result cache; ``run_fleet_chaos`` SIGKILLs an entire worker
 host mid-sweep and verifies the survivors converge bit-for-bit to a
 single-process control.
 
+Without a shared filesystem, the TCP coordinator backend
+(:mod:`repro.runner.coord` serving, :mod:`repro.runner.client` on the
+worker side, :mod:`repro.runner.wire` for the frame codec) moves the
+same claim → execute → commit protocol onto length-prefixed JSON
+frames: one coordinator process holds the queue, persisted through an
+append-only fsynced journal so a SIGKILL loses nothing, and workers
+anywhere with a TCP route drain it; ``run_coord_chaos`` proves it
+under frame-level network faults, a partitioned worker and a
+coordinator kill-and-restart.
+
 The CLI front ends are ``python -m repro run <EXP_ID> --workers N
-[--engine vector]`` and ``python -m repro fleet submit|worker|status``;
-runnable experiments are registered in :mod:`repro.runner.defs`.
+[--engine vector]``, ``python -m repro fleet submit|worker|status``
+and ``python -m repro coord serve|submit|worker|status``; runnable
+experiments are registered in :mod:`repro.runner.defs`.
 """
 
 from repro.runner.atomicio import atomic_write_json, atomic_write_text
@@ -41,9 +52,22 @@ from repro.runner.chaos import (
     ChaosReport,
     ChaosVerdict,
     run_chaos,
+    run_coord_chaos,
     run_fleet_chaos,
 )
 from repro.runner.checkpoint import SweepCheckpoint
+from repro.runner.client import (
+    CoordClient,
+    CoordinatorUnreachable,
+    CoordWorker,
+    Outbox,
+)
+from repro.runner.coord import (
+    CoordServer,
+    coord_report,
+    coord_status,
+    submit_tasks,
+)
 from repro.runner.executor import (
     RunReport,
     TaskExecutionError,
@@ -84,8 +108,13 @@ from repro.runner.telemetry import (
 __all__ = [
     "ChaosReport",
     "ChaosVerdict",
+    "CoordClient",
+    "CoordServer",
+    "CoordWorker",
+    "CoordinatorUnreachable",
     "ExperimentDef",
     "FaultPolicy",
+    "Outbox",
     "FleetQueue",
     "FleetStatus",
     "FleetWorker",
@@ -105,6 +134,8 @@ __all__ = [
     "atomic_write_json",
     "atomic_write_text",
     "bench_summary",
+    "coord_report",
+    "coord_status",
     "fleet_report",
     "fleet_status",
     "get_experiment",
@@ -115,8 +146,10 @@ __all__ = [
     "register",
     "registered_ids",
     "run_chaos",
+    "run_coord_chaos",
     "run_experiment",
     "run_fleet_chaos",
+    "submit_tasks",
     "run_registered_batch",
     "run_registered_task",
     "run_tasks",

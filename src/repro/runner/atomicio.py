@@ -24,6 +24,28 @@ from pathlib import Path
 from typing import Any, Union
 
 
+def fsync_dir(path: Union[os.PathLike, str]) -> None:
+    """fsync a *directory*, making its entry table durable.
+
+    A rename (or create) is only guaranteed to survive a power cut once
+    the containing directory has itself been flushed; fsyncing the file
+    alone pins the bytes but not the name.  Used at the runner's
+    crash-consistency commit points (journal appends, cache ``put``,
+    lease claims) — and a no-op on platforms whose directories cannot be
+    opened for fsync.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(
     path: Union[os.PathLike, str],
     text: str,
@@ -35,8 +57,9 @@ def atomic_write_text(
     The temp file is created in ``path``'s own directory (never the
     system tmpdir) so the final ``os.replace`` is a same-filesystem
     rename.  ``fsync`` additionally flushes the file to stable storage
-    before the rename — worth paying for records that must survive a
-    machine (not just process) crash.
+    before the rename *and* the directory after it — worth paying for
+    records that must survive a machine (not just process) crash, which
+    is what the kill -9 chaos verdicts promise.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -50,6 +73,8 @@ def atomic_write_text(
                 handle.flush()
                 os.fsync(handle.fileno())
         os.replace(tmp_name, target)
+        if fsync:
+            fsync_dir(target.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -47,11 +47,20 @@ def payload_digest(record: Dict[str, Any]) -> str:
 
 
 class ResultCache:
-    """A directory of content-addressed task outcomes."""
+    """A directory of content-addressed task outcomes.
 
-    def __init__(self, root: os.PathLike) -> None:
+    ``fsync`` makes every :meth:`put` flush the entry (and its
+    directory) to stable storage before returning.  The fleet and
+    coordinator backends turn it on — their crash-consistency story
+    ("committed means committed, even through kill -9 and a power cut")
+    is only honest on a real disk if the commit point is durable — while
+    single-process runs keep the cheap default.
+    """
+
+    def __init__(self, root: os.PathLike, *, fsync: bool = False) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
@@ -107,7 +116,7 @@ class ResultCache:
         """Atomically store ``record`` under ``key`` (with its digest)."""
         stored = dict(record)
         stored["sha256"] = payload_digest(record)
-        atomic_write_json(self._path(key), stored)
+        atomic_write_json(self._path(key), stored, fsync=self.fsync)
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

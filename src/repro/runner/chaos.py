@@ -52,7 +52,25 @@ lost, none double-counted), the merged fleet report is bit-for-bit
 identical per content key to a single-process clean control, and a
 final clean replay over the fleet's shared cache executes zero tasks.
 
-CLI front end: ``python -m repro chaos [--quick] [--fleet]``.
+Coordinator mode
+----------------
+``run_coord_chaos`` proves the TCP coordinator backend
+(:mod:`repro.runner.coord` / :mod:`repro.runner.client`) under *network*
+faults on top of process death.  Workers reach the coordinator only
+through an in-process fault proxy that drops, duplicates, delays and
+truncates whole wire frames (and injects garbage bytes between them) on
+a deterministic schedule; one worker rides a second proxy that
+blackholes it entirely for a window mid-run.  The coordinator itself is
+SIGKILLed mid-lease and restarted, recovering from its journal.
+
+Verdicts: the drain completes with every task *executed exactly once*
+(counted from the journal's fresh-outcome lines — lease grants are
+journaled before they are answered, so not even the coordinator kill
+can double-execute), every fault type provably fired, the merged
+report matches the clean control bit for bit, and a warm replay over
+the coordinator's result cache executes zero tasks.
+
+CLI front end: ``python -m repro chaos [--quick] [--fleet] [--coord]``.
 """
 
 from __future__ import annotations
@@ -62,9 +80,11 @@ import json
 import os
 import shutil
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -175,7 +195,21 @@ class ChaosReport:
         return all(verdict.passed for verdict in self.verdicts)
 
     def summary(self) -> str:
-        if self.plan.get("mode") == "fleet":
+        if self.plan.get("mode") == "coord":
+            faults = self.plan.get("faults", {})
+            lines = [
+                f"coord chaos: E3 quick grid, {self.tasks} tasks, "
+                f"seed {self.seed}, {self.workers} workers over TCP",
+                f"plan: coordinator SIGKILL + journal restart, partition "
+                f"{self.plan.get('partition_host')} for "
+                f"{self.plan.get('partition', 0):g}s, frame faults "
+                f"(drop {faults.get('drop', 0)}, dup {faults.get('dup', 0)}, "
+                f"delay {faults.get('delay', 0)}, "
+                f"truncate {faults.get('truncate', 0)}, "
+                f"garbage {faults.get('garbage', 0)}), "
+                f"ttl {self.plan.get('ttl', 0):g}s",
+            ]
+        elif self.plan.get("mode") == "fleet":
             lines = [
                 f"fleet chaos: E3 quick grid, {self.tasks} tasks, "
                 f"seed {self.seed}, {self.workers} worker hosts",
@@ -878,6 +912,624 @@ def _run_fleet_scenario(
         chaos_run_task,
         workers=0,
         cache=queue.cache(),
+        telemetry=RunTelemetry(base / "replay-run"),
+        progress=progress,
+    )
+    replay_mismatches = [
+        o.key
+        for o in replay.outcomes
+        if control_by_key.get(o.key) != _canonical(dict(o.metrics))
+    ]
+    replay_ok = (
+        replay.executed == 0
+        and replay.cache_hits == total
+        and not replay_mismatches
+        and not replay.quarantined
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "replay",
+            replay_ok,
+            f"executed {replay.executed} (want 0), {replay.cache_hits} "
+            f"cache hits (want {total}), {len(replay_mismatches)} "
+            "mismatches vs control",
+        )
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Coordinator chaos: network faults + coordinator SIGKILL over TCP
+# ----------------------------------------------------------------------
+
+
+def _free_port() -> int:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _drain_frames(buf: bytearray):
+    """Yield complete raw wire frames from ``buf`` (consumed in place).
+
+    Endpoints emit aligned frames, so the buffer always starts at a
+    frame boundary; if it ever does not (it cannot, from this repo's
+    codec), the bytes pass through untouched rather than stalling.
+    """
+    from repro.runner.wire import HEADER_SIZE, MAGIC
+
+    while True:
+        if len(buf) < HEADER_SIZE:
+            return
+        if not buf.startswith(MAGIC):
+            passthrough = bytes(buf)
+            del buf[:]
+            yield passthrough
+            return
+        length = int.from_bytes(buf[len(MAGIC):HEADER_SIZE], "big")
+        end = HEADER_SIZE + length
+        if len(buf) < end:
+            return
+        frame = bytes(buf[:end])
+        del buf[:end]
+        yield frame
+
+
+class _FaultSchedule:
+    """Deterministic per-frame fault decisions, shared across pumps.
+
+    Frame ``i`` (a global counter over both directions and every
+    connection) gets the fault at ``i mod period`` in the cycle table —
+    so given enough traffic every fault type provably fires, and the
+    verdict can demand it.
+    """
+
+    CYCLE = {3: "drop", 7: "dup", 10: "delay", 13: "truncate", 15: "garbage"}
+
+    def __init__(self, period: int = 17) -> None:
+        self.period = period
+        self._lock = threading.Lock()
+        self._index = 0
+        self.counts: Dict[str, int] = {
+            "forward": 0, "drop": 0, "dup": 0, "delay": 0,
+            "truncate": 0, "garbage": 0,
+        }
+
+    def next_action(self) -> str:
+        with self._lock:
+            index = self._index
+            self._index += 1
+            action = self.CYCLE.get(index % self.period, "forward")
+            self.counts[action] += 1
+        return action
+
+
+class _FaultProxy:
+    """A TCP proxy that mangles wire frames between workers and coord.
+
+    Thread-per-connection, two pump threads per connection.  With a
+    ``schedule`` it drops/duplicates/delays/truncates whole frames and
+    injects garbage between them; without one it forwards cleanly.
+    ``partition(seconds)`` blackholes the proxy — existing connections
+    are severed, new ones refused — until the window elapses, the way a
+    switch failure looks to one side of it.
+    """
+
+    def __init__(
+        self,
+        upstream,
+        *,
+        schedule: Optional[_FaultSchedule] = None,
+        delay: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self.upstream = upstream
+        self.schedule = schedule
+        self.delay = delay
+        self.seed = seed
+        self.partitions = 0
+        self._blackhole_until = 0.0
+        self._garbage_counter = 0
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._socks: set = set()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(32)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+
+    def partition(self, seconds: float) -> None:
+        with self._lock:
+            self._blackhole_until = time.monotonic() + seconds
+            self.partitions += 1
+            severed = list(self._socks)
+        for sock in severed:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            severed = list(self._socks)
+        for sock in severed:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._thread.join(timeout=2.0)
+
+    def _garbage(self) -> bytes:
+        self._garbage_counter += 1
+        rng = child_rng(self.seed, "proxy-garbage", self._garbage_counter)
+        return bytes(rng.getrandbits(8) for _ in range(12))
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if (
+                self._stop.is_set()
+                or time.monotonic() < self._blackhole_until
+            ):
+                client.close()
+                continue
+            try:
+                up = socket.create_connection(self.upstream, timeout=2.0)
+            except OSError:
+                client.close()  # coordinator down: look unreachable
+                continue
+            for sock in (client, up):
+                sock.settimeout(0.5)
+                with self._lock:
+                    self._socks.add(sock)
+            for src, dst in ((client, up), (up, client)):
+                threading.Thread(
+                    target=self._pump, args=(src, dst), daemon=True
+                ).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        buf = bytearray()
+        try:
+            while not self._stop.is_set():
+                if time.monotonic() < self._blackhole_until:
+                    break
+                try:
+                    data = src.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                buf.extend(data)
+                out = bytearray()
+                for raw in _drain_frames(buf):
+                    action = (
+                        self.schedule.next_action()
+                        if self.schedule is not None
+                        else "forward"
+                    )
+                    if action == "drop":
+                        continue
+                    if action == "dup":
+                        out += raw + raw
+                    elif action == "truncate":
+                        out += raw[: max(1, (2 * len(raw)) // 3)]
+                    elif action == "garbage":
+                        out += self._garbage() + raw
+                    elif action == "delay":
+                        if out:
+                            dst.sendall(bytes(out))
+                            out = bytearray()
+                        time.sleep(self.delay)
+                        out += raw
+                    else:
+                        out += raw
+                if out:
+                    dst.sendall(bytes(out))
+        except OSError:
+            pass
+        finally:
+            for sock in (src, dst):
+                with self._lock:
+                    self._socks.discard(sock)
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+def _coord_journal_outcomes(state_dir: Path) -> List[Dict[str, Any]]:
+    from repro.runner.coord import JOURNAL_NAME
+    from repro.runner.telemetry import _read_jsonl
+
+    path = state_dir / JOURNAL_NAME
+    if not path.exists():
+        return []
+    return [
+        entry
+        for entry in _read_jsonl(path, strict=False)
+        if entry.get("kind") == "outcome"
+    ]
+
+
+def run_coord_chaos(
+    *,
+    seed: int = 7,
+    workers: int = 3,
+    replications: Optional[int] = None,
+    quick: bool = False,
+    base_dir: Optional[os.PathLike] = None,
+    keep: bool = False,
+    progress: bool = False,
+    ttl: float = 8.0,
+    throttle: float = 0.15,
+    partition_seconds: float = 2.0,
+    drain_timeout: float = 240.0,
+) -> ChaosReport:
+    """Torture the TCP coordinator backend; verify exact convergence.
+
+    Starts a coordinator subprocess and ``workers`` worker subprocesses
+    that reach it only through fault proxies: all but the last worker
+    share a proxy that mangles frames (drop/duplicate/delay/truncate/
+    garbage on a deterministic schedule); the last worker's proxy
+    blackholes it for ``partition_seconds`` mid-run.  The coordinator is
+    SIGKILLed while leases are in flight and restarted against its
+    journal.  ``ttl`` stays well above the partition window and the
+    restart gap so no lease expires for a live worker — which is what
+    lets the harness demand *exactly one* execution per task, not
+    merely at-least-one with dedup.
+    """
+    if workers < 2:
+        raise ConfigurationError(
+            "coord chaos needs >= 2 workers: one is partitioned and "
+            "the rest must keep the queue moving"
+        )
+    if replications is None:
+        replications = 6 if quick else 10
+
+    import repro
+
+    version = repro.__version__
+    defn = get_experiment("E3")
+    tasks = defn.tasks(seed, replications, quick=True)
+    keys = [spec.key(version) for spec in tasks]
+    total = len(tasks)
+
+    base = (
+        Path(base_dir)
+        if base_dir is not None
+        else Path(tempfile.mkdtemp(prefix="repro-coord-chaos-"))
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    cleanup = base_dir is None and not keep
+    try:
+        return _run_coord_scenario(
+            base=base,
+            tasks=tasks,
+            keys=keys,
+            total=total,
+            seed=seed,
+            workers=workers,
+            progress=progress,
+            ttl=ttl,
+            throttle=throttle,
+            partition_seconds=partition_seconds,
+            drain_timeout=drain_timeout,
+            version=version,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(base, ignore_errors=True)
+
+
+def _run_coord_scenario(
+    *,
+    base: Path,
+    tasks: List[TaskSpec],
+    keys: List[str],
+    total: int,
+    seed: int,
+    workers: int,
+    progress: bool,
+    ttl: float,
+    throttle: float,
+    partition_seconds: float,
+    drain_timeout: float,
+    version: str,
+) -> ChaosReport:
+    import repro
+    from repro.runner.client import CoordClient, CoordinatorUnreachable
+    from repro.runner.coord import JOURNAL_NAME, coord_report, coord_status
+    from repro.runner.coord import submit_tasks
+    from repro.runner.telemetry import _read_jsonl
+
+    state = base / "coord-state"
+    coord_port = _free_port()
+
+    # -- 1. control: the same grid, single process, no faults ----------
+    control = run_tasks(
+        tasks,
+        chaos_run_task,
+        workers=0,
+        cache=ResultCache(base / "control-cache"),
+        telemetry=RunTelemetry(base / "control-run"),
+        progress=progress,
+    )
+    control_by_key = {
+        o.key: _canonical(dict(o.metrics)) for o in control.outcomes
+    }
+
+    src_root = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (str(src_root), env.get("PYTHONPATH", ""))
+        if part
+    )
+    env.pop(ENV_VAR, None)  # workers run the clean task function
+
+    def spawn_coord(log):
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "coord", "serve",
+                "--dir", str(state),
+                "--port", str(coord_port),
+                "--ttl", f"{ttl:g}",
+            ],
+            env=env, cwd=str(base),
+            stdout=log, stderr=subprocess.STDOUT,
+        )
+
+    hosts = [f"chost{i}" for i in range(workers)]
+    partition_host = hosts[-1]
+    schedule = _FaultSchedule()
+    report = ChaosReport(
+        seed=seed,
+        workers=workers,
+        tasks=total,
+        plan={
+            "mode": "coord",
+            "hosts": hosts,
+            "partition_host": partition_host,
+            "partition": partition_seconds,
+            "ttl": ttl,
+            "throttle": throttle,
+            "coord_port": coord_port,
+            "faults": {},
+        },
+    )
+    report.control_failures = control.failure_summary()
+    report.control_wall = control.wall_time
+    report.verdicts.append(
+        ChaosVerdict(
+            "control_clean",
+            control.executed == total and not control.quarantined,
+            f"executed {control.executed}/{total}, "
+            f"{len(control.quarantined)} quarantined",
+        )
+    )
+
+    started = time.monotonic()
+    coord_log = (base / "coord.log").open("w", encoding="utf-8")
+    log_handles = [coord_log]
+    coord_proc = spawn_coord(coord_log)
+    procs: List[subprocess.Popen] = []
+    faulty = partitioned = None
+    killed = restarted = False
+    worker_rcs: List[int] = []
+    try:
+        # -- 2. wait for the coordinator, submit the grid --------------
+        admin = CoordClient(
+            address=("127.0.0.1", coord_port),
+            timeout=2.0,
+            offline_budget=15.0,
+        )
+        admin.request({"op": "ping"})
+        submit_tasks(
+            admin, tasks, version=version, options={"seed": seed}
+        )
+
+        # -- 3. fault proxies between the workers and the port ---------
+        faulty = _FaultProxy(
+            ("127.0.0.1", coord_port), schedule=schedule, seed=seed
+        )
+        partitioned = _FaultProxy(("127.0.0.1", coord_port))
+
+        # -- 4. the workers, reachable only through the proxies --------
+        for host in hosts:
+            proxy = partitioned if host == partition_host else faulty
+            cmd = [
+                sys.executable, "-m", "repro", "coord", "worker",
+                "--addr", f"127.0.0.1:{proxy.port}",
+                "--outbox", str(base / "outbox"),
+                "--host", host,
+                "--poll", "0.1",
+                "--heartbeat", "0.5",
+                "--throttle", f"{throttle:g}",
+                "--request-timeout", "1.5",
+                "--offline-budget", "60",
+                "--no-progress",
+            ]
+            log = (base / f"{host}.log").open("w", encoding="utf-8")
+            log_handles.append(log)
+            procs.append(
+                subprocess.Popen(
+                    cmd, env=env, cwd=str(base),
+                    stdout=log, stderr=subprocess.STDOUT,
+                )
+            )
+
+        # -- 5. mid-run: partition one worker, SIGKILL the coordinator -
+        def outcome_count() -> int:
+            return len(_coord_journal_outcomes(state))
+
+        warm_deadline = time.monotonic() + drain_timeout / 2
+        while time.monotonic() < warm_deadline and outcome_count() < 2:
+            time.sleep(0.05)
+        partitioned.partition(partition_seconds)
+        if coord_proc.poll() is None:
+            # Leases are in flight (workers hold throttled tasks): this
+            # is the mid-lease kill the journal must survive.
+            coord_proc.send_signal(signal.SIGKILL)
+            killed = True
+        coord_proc.wait()
+        time.sleep(0.5)
+        coord_proc = spawn_coord(coord_log)
+        try:
+            admin.request({"op": "ping"}, offline_budget=20.0)
+            restarted = True
+        except CoordinatorUnreachable:
+            restarted = False
+
+        # -- 6. wait for the drain -------------------------------------
+        drain_deadline = time.monotonic() + drain_timeout
+        for proc in procs:
+            budget = max(1.0, drain_deadline - time.monotonic())
+            try:
+                worker_rcs.append(proc.wait(timeout=budget))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                worker_rcs.append(-9)
+
+        # -- 7. stop the coordinator cleanly ---------------------------
+        try:
+            admin.request({"op": "stop"}, offline_budget=5.0)
+        except (CoordinatorUnreachable, OSError):
+            pass
+        admin.close()
+        try:
+            coord_proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            coord_proc.kill()
+            coord_proc.wait()
+    finally:
+        for proc in [coord_proc] + procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        for proxy in (faulty, partitioned):
+            if proxy is not None:
+                proxy.close()
+        for log in log_handles:
+            log.close()
+    report.chaos_wall = time.monotonic() - started
+    report.plan["faults"] = dict(schedule.counts)
+
+    # -- 8. verdicts over the journal ----------------------------------
+    status = coord_status(state)
+    merged = coord_report(state)
+    report.chaos_failures = merged.failure_summary()
+    report.quarantined = [q.to_record() for q in merged.quarantined]
+
+    journal_entries = _read_jsonl(state / JOURNAL_NAME, strict=False)
+    starts = sum(
+        1 for e in journal_entries if e.get("kind") == "coord_start"
+    )
+    complete_ok = (
+        status["pending"] == 0
+        and status["done"]
+        and not merged.quarantined
+        and killed
+        and restarted
+        and starts >= 2
+        and all(rc == 0 for rc in worker_rcs)
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "coord_complete",
+            complete_ok,
+            f"{status['completed']}/{total} done, {status['pending']} "
+            f"pending, {len(merged.quarantined)} quarantined; "
+            f"coordinator killed={killed} restarted={restarted} "
+            f"({starts} journal starts); worker exit codes {worker_rcs}",
+        )
+    )
+
+    fresh_counts: Dict[str, int] = {}
+    for entry in journal_entries:
+        if entry.get("kind") == "outcome" and not entry.get("cached"):
+            fresh_counts[entry["key"]] = (
+                fresh_counts.get(entry["key"], 0) + 1
+            )
+    multiples = {k: c for k, c in fresh_counts.items() if c != 1}
+    exactly_once = (
+        not multiples
+        and len(fresh_counts) == total
+        and set(fresh_counts) == set(keys)
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "exactly_once",
+            exactly_once,
+            f"{len(fresh_counts)}/{total} tasks executed, "
+            f"{len(multiples)} executed more than once "
+            f"({sum(fresh_counts.values())} fresh outcomes journaled)",
+        )
+    )
+
+    counts = schedule.counts
+    faults_ok = (
+        all(
+            counts[kind] >= 1
+            for kind in ("drop", "dup", "delay", "truncate", "garbage")
+        )
+        and partitioned.partitions >= 1
+    )
+    report.verdicts.append(
+        ChaosVerdict(
+            "faults_injected",
+            faults_ok,
+            f"frames: {counts['forward']} forwarded, "
+            f"{counts['drop']} dropped, {counts['dup']} duplicated, "
+            f"{counts['delay']} delayed, {counts['truncate']} truncated, "
+            f"{counts['garbage']} garbage-prefixed; "
+            f"{partitioned.partitions} partition window(s)",
+        )
+    )
+
+    merged_keys = [o.key for o in merged.outcomes]
+    mismatches = [
+        o.key
+        for o in merged.outcomes
+        if control_by_key.get(o.key) != _canonical(dict(o.metrics))
+    ]
+    report.verdicts.append(
+        ChaosVerdict(
+            "results_match",
+            not mismatches
+            and len(merged_keys) == total
+            and len(set(merged_keys)) == total,
+            f"{len(merged_keys)}/{total} outcomes "
+            f"({len(set(merged_keys))} distinct), "
+            f"{len(mismatches)} metric mismatches vs control",
+        )
+    )
+
+    # -- 9. warm replay over the coordinator's result cache ------------
+    replay = run_tasks(
+        tasks,
+        chaos_run_task,
+        workers=0,
+        cache=ResultCache(state / "results"),
         telemetry=RunTelemetry(base / "replay-run"),
         progress=progress,
     )

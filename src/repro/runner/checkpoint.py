@@ -43,10 +43,19 @@ from typing import Any, Dict, Optional, TextIO, Tuple
 
 
 class SweepCheckpoint:
-    """An append-only journal of one sweep's completed-task state."""
+    """An append-only journal of one sweep's completed-task state.
 
-    def __init__(self, path: os.PathLike) -> None:
+    ``fsync`` flushes every append to stable storage before returning.
+    The fleet and coordinator backends journal *at their commit points*
+    (an outcome is journaled before the task is retired), so they pay
+    for durability; the single-process checkpoint keeps the cheap
+    flush-only default — losing its final line to a power cut merely
+    re-runs one task.
+    """
+
+    def __init__(self, path: os.PathLike, *, fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = fsync
         self._handle: Optional[TextIO] = None
         #: Duplicate content keys resolved (last-write-wins) by the most
         #: recent :meth:`load` — nonzero only for journals merged from,
@@ -109,6 +118,8 @@ class SweepCheckpoint:
             )
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def append_outcome(self, key: str, record: Dict[str, Any]) -> None:
         self._append({"kind": "outcome", "key": key, "record": record})

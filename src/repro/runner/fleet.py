@@ -74,13 +74,23 @@ HOSTS_DIR = "hosts"
 JOURNAL_NAME = "journal.jsonl"
 
 
+#: Per-process random nonce folded into :func:`default_host_name`.
+#: Computed once per interpreter (fork inherits it, but forked children
+#: differ by pid; a fresh interpreter draws a fresh nonce).
+_HOST_NONCE = os.urandom(2).hex()
+
+
 def default_host_name() -> str:
-    """A per-worker host identity: ``<hostname>-<pid>``.
+    """A per-worker host identity: ``<hostname>-<pid>-<nonce>``.
 
     One OS host may deliberately run several workers; each is its own
-    fleet "host" with its own journal stream and lease identity.
+    fleet "host" with its own journal stream and lease identity.  The
+    random per-process nonce keeps a restarted worker that recycles a
+    dead predecessor's PID from inheriting its journal stream and lease
+    identity — without it, ``fleet status`` would mis-merge the two
+    incarnations into one host taxonomy entry.
     """
-    return f"{socket.gethostname()}-{os.getpid()}"
+    return f"{socket.gethostname()}-{os.getpid()}-{_HOST_NONCE}"
 
 
 class FleetQueue:
@@ -157,10 +167,16 @@ class FleetQueue:
             ) from None
 
     def leases(self, clock_skew: float = 0.0) -> LeaseDir:
-        return LeaseDir(self.root / LEASES_DIR, clock_skew=clock_skew)
+        # fsync=True: a claim is a commit point — it must survive a
+        # machine crash, or a rebooted host could double-own a task.
+        return LeaseDir(
+            self.root / LEASES_DIR, clock_skew=clock_skew, fsync=True
+        )
 
     def cache(self) -> ResultCache:
-        return ResultCache(self.root / RESULTS_DIR)
+        # fsync=True: "committed" must mean durable for the kill -9
+        # chaos verdicts to be honest on a real disk.
+        return ResultCache(self.root / RESULTS_DIR, fsync=True)
 
     def task_path(self, key: str) -> Path:
         return self.tasks_dir / f"{key}.json"
@@ -197,7 +213,7 @@ class FleetQueue:
         return self.quarantine_dir / f"{key}.json"
 
     def put_quarantine(self, key: str, record: Dict[str, Any]) -> None:
-        atomic_write_json(self.quarantine_path(key), record)
+        atomic_write_json(self.quarantine_path(key), record, fsync=True)
 
     def quarantined(self) -> Dict[str, Dict[str, Any]]:
         records: Dict[str, Dict[str, Any]] = {}
@@ -234,7 +250,13 @@ class FleetQueue:
 
 @dataclass
 class WorkerReport:
-    """What one fleet worker did before its queue drained."""
+    """What one worker (fleet or coordinator-attached) did.
+
+    ``stranded`` is coordinator-specific: outcomes a worker computed but
+    could not commit before its coordinator stayed unreachable past the
+    offline budget — spooled to the local outbox and committed by the
+    next worker run instead of lost.
+    """
 
     host: str
     executed: int = 0
@@ -243,6 +265,7 @@ class WorkerReport:
     lease_reclaims: int = 0
     quarantined: int = 0
     overruns: int = 0
+    stranded: int = 0
     wall_time: float = 0.0
 
     def to_record(self) -> Dict[str, Any]:
@@ -254,6 +277,7 @@ class WorkerReport:
             "lease_reclaims": self.lease_reclaims,
             "quarantined": self.quarantined,
             "overruns": self.overruns,
+            "stranded": self.stranded,
             "wall_time": self.wall_time,
         }
 
@@ -537,7 +561,11 @@ class FleetWorker:
         """
         started = time.perf_counter()
         version = str(self.queue.manifest().get("version", ""))
-        self._journal = SweepCheckpoint(self.queue.journal_path(self.host))
+        # fsync=True: journaling an outcome is the step that lets the
+        # merge layer trust "this task is done" after any crash.
+        self._journal = SweepCheckpoint(
+            self.queue.journal_path(self.host), fsync=True
+        )
         self._journal.append_event(
             "host_start",
             host=self.host,
@@ -607,6 +635,24 @@ class HostStatus:
     last_seen_unix: Optional[float] = None
     finished: bool = False
 
+    def throughput(self) -> Optional[float]:
+        """Outcomes per second over this host's observed lifetime.
+
+        None until the host has both produced an outcome and been seen
+        for a measurable interval — a freshly-started host has no rate
+        yet, and inventing one would poison the fleet ETA.
+        """
+        if (
+            self.outcomes == 0
+            or self.started_unix is None
+            or self.last_seen_unix is None
+        ):
+            return None
+        span = self.last_seen_unix - self.started_unix
+        if span <= 0:
+            return None
+        return self.outcomes / span
+
     def to_record(self) -> Dict[str, Any]:
         return {
             "host": self.host,
@@ -673,13 +719,30 @@ class FleetStatus:
             f"({self.completed} completed, {self.quarantined} quarantined, "
             f"{self.pending} pending, {len(self.leased)} in flight)",
         ]
+        live_rate = 0.0
         for host in self.hosts:
             state = "finished" if host.finished else "running"
+            rate = host.throughput()
+            if rate is not None and not host.finished:
+                live_rate += rate
+            rate_str = f"{rate:.2f}/s" if rate is not None else "--/s"
             lines.append(
                 f"  {host.host:<24} {host.outcomes:>4} outcomes "
-                f"({host.fresh} fresh, {host.cached} cached), "
+                f"({host.fresh} fresh, {host.cached} cached) "
+                f"@ {rate_str}, "
                 f"{host.lease_reclaims} reclaims, "
                 f"{host.quarantines} quarantines [{state}]"
+            )
+        if self.pending and live_rate > 0:
+            eta = self.pending / live_rate
+            lines.append(
+                f"eta: ~{eta:.0f}s for {self.pending} pending at "
+                f"{live_rate:.2f} tasks/s across live hosts"
+            )
+        elif self.pending and self.leased:
+            lines.append(
+                f"eta: unknown ({self.pending} pending, no live "
+                "throughput measured yet)"
             )
         lines.append(
             f"failure taxonomy: {self.quarantined} quarantined, "

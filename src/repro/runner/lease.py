@@ -44,6 +44,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.runner.atomicio import fsync_dir
+
 #: Suffix of live lease files (tombstones use ``.steal-*`` and are
 #: ignored by listings).
 LEASE_SUFFIX = ".lease"
@@ -110,14 +112,26 @@ class LeaseDir:
     many seconds: claims and heartbeats stamp ``now + skew`` as explicit
     mtimes, the way a skewed NFS client would.  The chaos harness uses
     it to prove the reclaim protocol never reads absolute timestamps.
+
+    ``fsync`` makes claims (fresh and post-reclaim) durable — file and
+    directory flushed before the claim is reported won.  The fleet turns
+    it on: a claim that evaporates in a power cut could otherwise let a
+    rebooted host believe a rival's visible-but-volatile lease.
+    Heartbeats are never fsynced (they are a liveness signal, not a
+    commit point, and fire several times per second fleet-wide).
     """
 
     def __init__(
-        self, root: os.PathLike, clock_skew: float = 0.0
+        self,
+        root: os.PathLike,
+        clock_skew: float = 0.0,
+        *,
+        fsync: bool = False,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.clock_skew = clock_skew
+        self.fsync = fsync
 
     def path(self, key: str) -> Path:
         return self.root / f"{key}{LEASE_SUFFIX}"
@@ -150,7 +164,12 @@ class LeaseDir:
             return False
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(record.to_record(), handle, sort_keys=True)
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         self._stamp(path)
+        if self.fsync:
+            fsync_dir(self.root)
         return True
 
     def read(self, key: str) -> Optional[LeaseRecord]:
@@ -260,6 +279,11 @@ class LeaseDir:
             # the lease we watched is gone.
             observer.forget(key)
             return None
+        if self.fsync:
+            # The steal must be durable before we act on having won it:
+            # a power cut that resurrects the victim's lease would give
+            # the task two owners after reboot.
+            fsync_dir(self.root)
         observer.forget(key)
         old = self._read_file(tomb) or LeaseRecord(
             host="(corrupt lease)", pid=0, steal_count=0, claimed_unix=0.0

@@ -1,0 +1,163 @@
+"""Length-prefixed JSON frames for the TCP coordinator — with resync.
+
+The coordinator protocol (:mod:`repro.runner.coord` /
+:mod:`repro.runner.client`) exchanges small JSON objects over TCP.  Each
+object travels as one *frame*:
+
+.. code-block:: text
+
+    +----------+----------------+------------------+
+    | magic 4B | length 4B (BE) | payload: JSON    |
+    +----------+----------------+------------------+
+
+TCP guarantees ordered delivery on a healthy connection, but this repo's
+chaos harness holds the transport to the same standard it holds the
+simulated radio protocols: frames are dropped, duplicated, delayed and
+truncated in flight.  The codec is therefore built to *resync*, not to
+trust:
+
+* every frame starts with a 4-byte magic, so a receiver that lands
+  mid-stream (after a truncated frame, or scribbled bytes) scans forward
+  to the next magic instead of mis-framing forever;
+* the declared length is bounded by ``max_frame`` — a garbage header
+  that happens to contain the magic cannot make the receiver wait for a
+  gigabyte that never comes;
+* a payload that fails to parse as JSON discards only the bad frame's
+  header and rescans, so a frame truncated *into* the next frame's bytes
+  costs at most the frames it physically overwrote.
+
+What the codec cannot repair it reports: :class:`FrameDecoder` counts
+``resyncs``, ``garbage_bytes``, ``bad_frames`` and ``oversized_frames``
+so transports can decide to reconnect (the client does) or just log
+(the server does).  Request/response *pairing* under duplication and
+reordering is the layer above: every request carries a caller-chosen
+``rid`` echoed in the response, and the client discards frames whose
+``rid`` it is not waiting for.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+#: Start-of-frame marker.  Chosen to be invalid UTF-8 JSON, so payload
+#: bytes can only collide with it inside string escapes — and even then
+#: a false resync costs one bad frame, not the connection.
+MAGIC = b"\xabRW1"
+
+#: Header: magic + 4-byte big-endian payload length.
+HEADER_SIZE = len(MAGIC) + 4
+
+#: Default ceiling on one frame's payload.  Coordinator messages are a
+#: task spec or a metrics record — kilobytes; anything near this limit
+#: is damage, not data.
+MAX_FRAME = 8 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """A frame could not be encoded (payload not JSON, or too large)."""
+
+
+def encode_frame(payload: Any, *, max_frame: int = MAX_FRAME) -> bytes:
+    """Encode one JSON-serializable ``payload`` as a wire frame."""
+    try:
+        body = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"payload is not JSON-serializable: {exc}") from None
+    if len(body) > max_frame:
+        raise FrameError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{max_frame}-byte ceiling"
+        )
+    return MAGIC + len(body).to_bytes(4, "big") + body
+
+
+class FrameDecoder:
+    """Incremental frame parser over a byte stream that may be damaged.
+
+    Feed it whatever ``recv`` returned; it yields every complete,
+    well-formed frame and skips past anything else, counting what it
+    skipped.  The decoder never raises on input bytes — a transport that
+    crashed on garbage would be the vulnerability the chaos harness
+    exists to find.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        #: Times the decoder had to scan forward for a magic marker.
+        self.resyncs = 0
+        #: Bytes discarded while scanning (never part of any frame).
+        self.garbage_bytes = 0
+        #: Frames whose payload failed to parse as a JSON object.
+        self.bad_frames = 0
+        #: Headers discarded for declaring an implausible length.
+        self.oversized_frames = 0
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Absorb ``data``; return every complete frame it finished."""
+        self._buffer.extend(data)
+        frames: List[Dict[str, Any]] = []
+        while True:
+            # -- hunt for the start-of-frame marker -----------------
+            start = self._buffer.find(MAGIC)
+            if start == -1:
+                # No magic anywhere: keep a tail shorter than the magic
+                # (it may be a marker split across reads), drop the rest.
+                keep = len(MAGIC) - 1
+                if len(self._buffer) > keep:
+                    dropped = len(self._buffer) - keep
+                    self.garbage_bytes += dropped
+                    self.resyncs += 1
+                    del self._buffer[:dropped]
+                return frames
+            if start > 0:
+                self.garbage_bytes += start
+                self.resyncs += 1
+                del self._buffer[:start]
+            if len(self._buffer) < HEADER_SIZE:
+                return frames
+            length = int.from_bytes(
+                self._buffer[len(MAGIC):HEADER_SIZE], "big"
+            )
+            if length > self.max_frame:
+                # A header this implausible is damage; skip just the
+                # magic and rescan — the real next frame may start
+                # anywhere inside what we thought was a header.
+                self.oversized_frames += 1
+                self.garbage_bytes += len(MAGIC)
+                del self._buffer[:len(MAGIC)]
+                continue
+            if len(self._buffer) < HEADER_SIZE + length:
+                return frames  # frame still in flight
+            body = bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length])
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                if not isinstance(payload, dict):
+                    raise ValueError("frame payload must be a JSON object")
+            except (ValueError, UnicodeDecodeError):
+                # Bad payload — most likely a frame truncated in flight,
+                # whose declared length swallowed the next frame's
+                # bytes.  Discard only the header and rescan: any intact
+                # frame inside the swallowed span is recovered.
+                self.bad_frames += 1
+                self.garbage_bytes += len(MAGIC)
+                del self._buffer[:len(MAGIC)]
+                continue
+            del self._buffer[:HEADER_SIZE + length]
+            frames.append(payload)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "resyncs": self.resyncs,
+            "garbage_bytes": self.garbage_bytes,
+            "bad_frames": self.bad_frames,
+            "oversized_frames": self.oversized_frames,
+        }

@@ -1,0 +1,220 @@
+"""The wire codec: round trips, then fuzz — the decoder never raises.
+
+The coordinator protocol rides on :mod:`repro.runner.wire`'s
+magic-prefixed frames, and its whole fault story rests on two codec
+properties: (1) every well-formed frame that arrives intact is decoded,
+no matter how the stream is sliced into ``recv`` returns, and (2) no
+byte sequence — truncated frames, garbage, oversized headers, payload
+bytes that contain the magic — makes the decoder raise or mis-frame
+what follows.  These tests state both properties directly, including a
+deterministic fuzz loop over randomly mangled streams.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.runner.wire import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+
+
+def _payloads(n: int):
+    return [{"op": "claim", "seq": i, "host": f"h{i % 3}"} for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+def test_roundtrip_single_frame():
+    payload = {"op": "ping", "rid": "a-1", "nested": {"x": [1, 2, 3]}}
+    decoder = FrameDecoder()
+    frames = decoder.feed(encode_frame(payload))
+    assert frames == [payload]
+    assert decoder.pending_bytes == 0
+    assert all(v == 0 for v in decoder.stats().values())
+
+
+def test_roundtrip_many_frames_one_feed():
+    payloads = _payloads(20)
+    blob = b"".join(encode_frame(p) for p in payloads)
+    assert FrameDecoder().feed(blob) == payloads
+
+
+@pytest.mark.parametrize("chunk", [1, 2, 3, 7, HEADER_SIZE, 64])
+def test_roundtrip_survives_any_read_slicing(chunk):
+    """TCP may deliver any byte-slicing; framing must not care."""
+    payloads = _payloads(8)
+    blob = b"".join(encode_frame(p) for p in payloads)
+    decoder = FrameDecoder()
+    got = []
+    for i in range(0, len(blob), chunk):
+        got.extend(decoder.feed(blob[i:i + chunk]))
+    assert got == payloads
+    assert decoder.pending_bytes == 0
+
+
+def test_encode_rejects_unserializable_and_oversized():
+    with pytest.raises(FrameError):
+        encode_frame({"bad": object()})
+    with pytest.raises(FrameError):
+        encode_frame({"blob": "x" * 64}, max_frame=16)
+
+
+def test_payload_containing_magic_bytes_is_not_misframed():
+    # The magic can appear inside a JSON string (escaped); framing goes
+    # by the declared length, so it must not trigger a false resync.
+    evil = {"data": MAGIC.decode("latin-1"), "tail": "ok"}
+    body = json.dumps(evil, sort_keys=True, separators=(",", ":"))
+    frame = MAGIC + len(body.encode("utf-8")).to_bytes(4, "big") + body.encode(
+        "utf-8"
+    )
+    after = {"op": "next"}
+    decoder = FrameDecoder()
+    got = decoder.feed(frame + encode_frame(after))
+    assert got[-1] == after
+
+
+# ----------------------------------------------------------------------
+# Damage: each fault class in isolation
+# ----------------------------------------------------------------------
+
+
+def test_truncated_frame_resyncs_to_next():
+    a, b, c = _payloads(3)
+    fa, fb, fc = (encode_frame(p) for p in (a, b, c))
+    # Frame b loses its last third; its declared length then swallows
+    # the start of c.  The decoder must still deliver a, and resync.
+    damaged = fa + fb[: (2 * len(fb)) // 3] + fc
+    decoder = FrameDecoder()
+    got = decoder.feed(damaged)
+    assert a in got
+    assert b not in got  # physically gone
+    assert decoder.bad_frames >= 1 or decoder.resyncs >= 1
+
+
+def test_garbage_between_frames_is_skipped_and_counted():
+    a, b = _payloads(2)
+    noise = b"\x00\xff\x13garbage\x7f" * 3
+    decoder = FrameDecoder()
+    got = decoder.feed(noise + encode_frame(a) + noise + encode_frame(b))
+    assert got == [a, b]
+    assert decoder.resyncs >= 2
+    assert decoder.garbage_bytes >= len(noise)
+
+
+def test_oversized_header_does_not_stall_the_stream():
+    # A header declaring 2 GiB must be discarded, not waited for.
+    evil = MAGIC + (2**31).to_bytes(4, "big") + b"xx"
+    after = _payloads(1)[0]
+    decoder = FrameDecoder()
+    got = decoder.feed(evil + encode_frame(after))
+    assert got == [after]
+    assert decoder.oversized_frames == 1
+
+
+def test_duplicated_and_reordered_frames_decode_individually():
+    a, b = _payloads(2)
+    fa, fb = encode_frame(a), encode_frame(b)
+    # Framing is stateless across frames: dup and reorder are the rid
+    # layer's problem, the codec just delivers what arrived.
+    assert FrameDecoder().feed(fb + fa + fa) == [b, a, a]
+
+
+def test_non_object_json_payload_is_a_bad_frame():
+    body = b"[1,2,3]"
+    frame = MAGIC + len(body).to_bytes(4, "big") + body
+    after = _payloads(1)[0]
+    decoder = FrameDecoder()
+    got = decoder.feed(frame + encode_frame(after))
+    assert got == [after]
+    assert decoder.bad_frames == 1
+
+
+def test_magic_split_across_reads_is_kept():
+    payload = _payloads(1)[0]
+    frame = encode_frame(payload)
+    decoder = FrameDecoder()
+    assert decoder.feed(frame[:2]) == []
+    assert decoder.feed(frame[2:]) == [payload]
+    assert decoder.garbage_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# Fuzz: mangled streams never raise, intact frames still decode
+# ----------------------------------------------------------------------
+
+
+def _mangle(rng: random.Random, frames):
+    """Apply one random fault per frame, proxy-style."""
+    out = bytearray()
+    survivors = []
+    for payload, raw in frames:
+        action = rng.choice(
+            ["keep", "keep", "keep", "drop", "dup", "truncate", "garbage"]
+        )
+        if action == "drop":
+            continue
+        if action == "garbage":
+            out += bytes(rng.getrandbits(8) for _ in range(rng.randint(1, 40)))
+        if action == "truncate":
+            out += raw[: rng.randint(1, len(raw) - 1)]
+            continue
+        out += raw
+        survivors.append(payload)
+        if action == "dup":
+            out += raw
+            survivors.append(payload)
+    return bytes(out), survivors
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_mangled_stream_never_raises(seed):
+    rng = random.Random(seed)
+    frames = [
+        (p, encode_frame(p))
+        for p in (
+            {"op": "claim", "i": i, "blob": "z" * rng.randint(0, 200)}
+            for i in range(30)
+        )
+    ]
+    blob, survivors = _mangle(rng, frames)
+    decoder = FrameDecoder()
+    got = []
+    pos = 0
+    while pos < len(blob):
+        step = rng.randint(1, 37)
+        got.extend(decoder.feed(blob[pos:pos + step]))
+        pos += step
+    # Everything decoded was genuinely sent (possibly duplicated)...
+    sent = [p for p, _ in frames]
+    for payload in got:
+        assert payload in sent
+    # ...and at most the frames adjacent to damage were lost: every
+    # surviving frame NOT immediately following damage must decode.
+    # (A truncated frame's declared length may swallow its successor.)
+    assert len(got) >= max(0, len(survivors) - blob.count(MAGIC))
+
+
+def test_fuzz_pure_garbage_never_raises_or_grows():
+    rng = random.Random(99)
+    decoder = FrameDecoder(max_frame=4096)
+    for _ in range(200):
+        decoder.feed(bytes(rng.getrandbits(8) for _ in range(rng.randint(1, 512))))
+    # The buffer must stay bounded: garbage is discarded, not hoarded.
+    assert decoder.pending_bytes <= HEADER_SIZE + 4096
+    assert decoder.garbage_bytes > 0
+
+
+def test_default_ceiling_matches_module_constant():
+    assert FrameDecoder().max_frame == MAX_FRAME
